@@ -1,0 +1,47 @@
+"""Fig. 7 — kernel-time breakdown of the PyTorch-style implementation.
+
+The paper's Nsight profiling shows the irregular gather/scatter ("index")
+kernels consuming the largest share (~34–36%) of GPU time at every batch
+size. This benchmark runs the batched engine at three batch sizes and prints
+the modelled per-op time shares.
+"""
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import format_table
+from repro.core import BatchedLayoutEngine
+
+PAPER_INDEX_SHARE = {"small": 0.345, "medium": 0.360, "large": 0.340}
+BATCH_SIZES = {"small": 256, "medium": 2048, "large": 16384}
+
+
+@pytest.mark.paper_table("Fig. 7")
+def test_fig07_kernel_time_breakdown(benchmark, mhc_graph, bench_params):
+    def run_all():
+        out = {}
+        for label, batch_size in BATCH_SIZES.items():
+            engine = BatchedLayoutEngine(mhc_graph, bench_params.with_(batch_size=batch_size))
+            engine.run()
+            out[label] = engine.op_profile.time_breakdown()
+        return out
+
+    breakdowns = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    ops = sorted({op for b in breakdowns.values() for op in b})
+    rows = []
+    for label, breakdown in breakdowns.items():
+        rows.append([label, BATCH_SIZES[label]]
+                    + [f"{breakdown.get(op, 0.0):.1%}" for op in ops])
+        # The index (gather/scatter) kernels dominate at every batch size.
+        assert breakdown["index"] == max(breakdown.values())
+        assert breakdown["index"] > 0.25
+        assert sum(breakdown.values()) == pytest.approx(1.0, rel=1e-6)
+
+    print()
+    print(format_table(
+        ["Batch", "Size"] + ops,
+        rows,
+        title="Fig. 7: kernel time breakdown of the PyTorch-style engine "
+              f"(paper: index ≈ {PAPER_INDEX_SHARE['medium']:.0%})",
+    ))

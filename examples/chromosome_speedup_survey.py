@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Chromosome-scale speedup survey (Table VII / Fig. 15 style).
+
+Generates a scaled 24-chromosome pangenome suite, models the run time of the
+32-thread CPU baseline, the RTX A6000 and the A100 for every chromosome from
+the real workload's memory-access counters, and prints a Table-VII-style
+summary with geometric-mean speedups and the run-time vs path-length scaling.
+
+Run with:  python examples/chromosome_speedup_survey.py [--scale 0.5]
+"""
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.bench import evaluate_graph_performance, format_hms, format_table, geometric_mean
+from repro.core import LayoutParams
+from repro.synth import CHROMOSOME_PAPER_RUNTIMES, chromosome_suite
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.5,
+                        help="dataset scale factor (default 0.5 of the quick suite)")
+    parser.add_argument("--trace-terms", type=int, default=768,
+                        help="update terms traced per graph for the counter collection")
+    args = parser.parse_args()
+
+    suite = chromosome_suite(scale=args.scale, quick=True)
+    params = LayoutParams(iter_max=30, steps_per_step_unit=10.0, seed=9399)
+
+    rows = []
+    a6000, a100 = [], []
+    lengths, cpu_times = [], []
+    for name, graph in suite.items():
+        report = evaluate_graph_performance(graph, name, params,
+                                            n_trace_terms=args.trace_terms)
+        s6000 = report.speedup("A6000")
+        s100 = report.speedup("A100")
+        a6000.append(s6000)
+        a100.append(s100)
+        lengths.append(graph.total_steps)
+        cpu_times.append(report.cpu.total_s)
+        paper = CHROMOSOME_PAPER_RUNTIMES[name]
+        rows.append([
+            name, graph.n_nodes, graph.total_steps,
+            format_hms(report.cpu.total_s),
+            f"{s6000:.1f}x", f"{paper['cpu'] / paper['a6000']:.1f}x",
+            f"{s100:.1f}x", f"{paper['cpu'] / paper['a100']:.1f}x",
+        ])
+
+    rows.append(["GeoMean", "-", "-", "-", f"{geometric_mean(a6000):.1f}x", "27.7x",
+                 f"{geometric_mean(a100):.1f}x", "57.3x"])
+    print(format_table(
+        ["Chromosome", "#Nodes", "#Steps", "CPU (model)", "A6000", "A6000(paper)",
+         "A100", "A100(paper)"],
+        rows,
+        title="Modelled run time and speedup across the scaled 24-chromosome suite",
+    ))
+
+    # Fig. 15: linear scaling of run time with total path length.
+    coeffs = np.polyfit(lengths, cpu_times, 1)
+    pred = np.polyval(coeffs, lengths)
+    ss_res = np.sum((np.array(cpu_times) - pred) ** 2)
+    ss_tot = np.sum((np.array(cpu_times) - np.mean(cpu_times)) ** 2)
+    print(f"\nCPU run time vs total path length: slope {coeffs[0]:.3g} s/step, "
+          f"R^2 = {1 - ss_res / ss_tot:.3f} (paper Fig. 15: linear)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setuptools entry point.
+
+Kept because the evaluation environment has no ``wheel`` package, so modern
+PEP 517 editable installs (``pip install -e .``) cannot build a wheel; with
+this file present, ``pip install -e . --no-build-isolation`` falls back to the
+setuptools develop path, and ``python setup.py develop --no-deps`` also works
+offline. All metadata lives in ``pyproject.toml``.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,50 @@
+"""repro — reproduction of "Rapid GPU-Based Pangenome Graph Layout" (SC 2024).
+
+The package implements the paper's path-guided SGD pangenome layout algorithm
+and every substrate its evaluation depends on:
+
+* :mod:`repro.graph` — variation-graph model, GFA I/O, lean layout structure,
+  path index (the ODGI stand-in);
+* :mod:`repro.synth` — synthetic pangenome generation (HPRC dataset stand-in);
+* :mod:`repro.prng` — Xoshiro256+ / XORWOW generators with AoS/SoA states;
+* :mod:`repro.core` — the CPU baseline, the batched PyTorch-style engine and
+  the optimized GPU kernel with the paper's three optimisations;
+* :mod:`repro.gpusim` — the GPU execution-model simulator (coalescing, caches,
+  warp divergence, analytical timing) standing in for the CUDA hardware;
+* :mod:`repro.metrics` — path stress and sampled path stress;
+* :mod:`repro.parallel`, :mod:`repro.render`, :mod:`repro.io`,
+  :mod:`repro.bench` — Hogwild analysis, rendering, persistence and the
+  benchmark harness.
+
+Quickstart::
+
+    from repro.synth import hla_drb1_like
+    from repro.core import layout_graph, LayoutParams
+    from repro.metrics import sampled_path_stress
+
+    graph = hla_drb1_like(scale=0.2)
+    result = layout_graph(graph, engine="gpu",
+                          params=LayoutParams(iter_max=10, steps_per_step_unit=2.0))
+    print(sampled_path_stress(result.layout, graph).value)
+"""
+from . import bench, core, gpusim, graph, io, metrics, parallel, prng, render, synth
+from .core import LayoutParams, layout_graph, make_engine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "bench",
+    "core",
+    "gpusim",
+    "graph",
+    "io",
+    "metrics",
+    "parallel",
+    "prng",
+    "render",
+    "synth",
+    "LayoutParams",
+    "layout_graph",
+    "make_engine",
+    "__version__",
+]

@@ -1,0 +1,24 @@
+"""Benchmark-harness support: table formatting and the end-to-end performance model."""
+from .tables import (
+    format_table,
+    format_markdown_table,
+    format_hms,
+    format_sci,
+    geometric_mean,
+)
+from .perfmodel import (
+    GraphPerformanceReport,
+    evaluate_graph_performance,
+    ablation_ladder,
+)
+
+__all__ = [
+    "format_table",
+    "format_markdown_table",
+    "format_hms",
+    "format_sci",
+    "geometric_mean",
+    "GraphPerformanceReport",
+    "evaluate_graph_performance",
+    "ablation_ladder",
+]

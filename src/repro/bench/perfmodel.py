@@ -1,0 +1,139 @@
+"""End-to-end performance model: one call per (graph, device, kernel config).
+
+This is the glue the central-evaluation benchmarks (Tables VII, Fig. 15,
+Fig. 16) use: it runs the counter-collection machinery (CPU cache profile for
+the baseline, GPU kernel profile for each configuration) on a graph and
+returns modelled run times for the 32-thread CPU baseline, the RTX A6000 and
+the A100, together with the derived speedups.
+
+Absolute times are model outputs, not hardware measurements (see DESIGN.md);
+the quantities compared against the paper are the speedup ratios and their
+ordering across optimisation stages and devices.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..core.gpu_kernel import GpuKernelConfig, OptimizedGpuEngine
+from ..core.params import LayoutParams
+from ..gpusim.device import A100, DeviceSpec, RTX_A6000, XEON_6246R
+from ..gpusim.profiler import WorkloadCounters
+from ..gpusim.timing import TimingBreakdown, cpu_runtime
+from ..graph.lean import LeanGraph
+from ..parallel.scaling import cpu_cache_profile
+
+__all__ = ["GraphPerformanceReport", "evaluate_graph_performance", "ablation_ladder"]
+
+
+@dataclass
+class GraphPerformanceReport:
+    """Modelled run times and speedups for one graph."""
+
+    graph_name: str
+    total_terms: float
+    cpu: TimingBreakdown
+    gpu: Dict[str, TimingBreakdown] = field(default_factory=dict)
+
+    def speedup(self, device_name: str) -> float:
+        """CPU time divided by the named GPU device's time."""
+        return self.cpu.total_s / self.gpu[device_name].total_s
+
+    def as_row(self) -> Dict[str, float]:
+        """Flat dictionary for table assembly."""
+        row: Dict[str, float] = {
+            "graph": self.graph_name,
+            "cpu_s": self.cpu.total_s,
+            "total_terms": self.total_terms,
+        }
+        for name, timing in self.gpu.items():
+            row[f"{name}_s"] = timing.total_s
+            row[f"{name}_speedup"] = self.cpu.total_s / timing.total_s
+        return row
+
+
+def evaluate_graph_performance(
+    graph: LeanGraph,
+    graph_name: str = "graph",
+    params: Optional[LayoutParams] = None,
+    gpu_config: Optional[GpuKernelConfig] = None,
+    devices: Optional[Dict[str, DeviceSpec]] = None,
+    cpu_device: DeviceSpec = XEON_6246R,
+    n_trace_terms: int = 2048,
+    cpu_threads: int = 32,
+    seed: int = 0,
+) -> GraphPerformanceReport:
+    """Model CPU-baseline and GPU run times for one graph."""
+    params = params or LayoutParams()
+    gpu_config = gpu_config or GpuKernelConfig()
+    devices = devices or {"A6000": RTX_A6000, "A100": A100}
+
+    # CPU baseline: cache profile -> latency-bound model.
+    sample_traffic, traced = cpu_cache_profile(
+        graph, params, cpu_device, n_trace_terms=n_trace_terms, seed=seed
+    )
+    total_terms = float(params.iter_max * params.steps_per_iteration(graph.total_steps))
+    cpu_traffic = sample_traffic.scaled(total_terms / traced)
+    cpu_time = cpu_runtime(
+        cpu_device, total_terms, cpu_traffic, WorkloadCounters(), n_threads=cpu_threads
+    )
+
+    # GPU: profile the optimized kernel per device.
+    gpu_times: Dict[str, TimingBreakdown] = {}
+    for name, device in devices.items():
+        engine = OptimizedGpuEngine(graph, params, gpu_config)
+        profile = engine.profile(device=device, n_sample_terms=n_trace_terms, seed=seed)
+        gpu_times[name] = profile.timing
+    return GraphPerformanceReport(
+        graph_name=graph_name,
+        total_terms=total_terms,
+        cpu=cpu_time,
+        gpu=gpu_times,
+    )
+
+
+def ablation_ladder(
+    graph: LeanGraph,
+    params: Optional[LayoutParams] = None,
+    device: DeviceSpec = RTX_A6000,
+    n_trace_terms: int = 2048,
+    cpu_threads: int = 32,
+    seed: int = 0,
+) -> Dict[str, float]:
+    """Modelled run times of the successive-optimisation ladder (Fig. 16).
+
+    Returns run times (seconds) keyed by stage:
+    ``cpu-baseline``, ``cpu+cdl``, ``gpu-base``, ``gpu+cdl``, ``gpu+cdl+crs``,
+    ``gpu+cdl+crs+wm`` (the fully optimized kernel).
+    """
+    params = params or LayoutParams()
+    from ..core.layout import NodeDataLayout  # local import to keep module load light
+
+    results: Dict[str, float] = {}
+    total_terms = float(params.iter_max * params.steps_per_iteration(graph.total_steps))
+
+    # CPU baseline with and without the cache-friendly data layout.
+    for label, layout_kind in (("cpu-baseline", NodeDataLayout.SOA), ("cpu+cdl", NodeDataLayout.AOS)):
+        traffic_sample, traced = cpu_cache_profile(
+            graph, params, XEON_6246R, n_trace_terms=n_trace_terms, seed=seed,
+            data_layout=layout_kind,
+        )
+        traffic = traffic_sample.scaled(total_terms / traced)
+        results[label] = cpu_runtime(
+            XEON_6246R, total_terms, traffic, WorkloadCounters(), n_threads=cpu_threads
+        ).total_s
+
+    # GPU ladder.
+    stages = {
+        "gpu-base": GpuKernelConfig.baseline(),
+        "gpu+cdl": GpuKernelConfig(cache_friendly_layout=True, coalesced_random_states=False,
+                                   warp_merging=False),
+        "gpu+cdl+crs": GpuKernelConfig(cache_friendly_layout=True, coalesced_random_states=True,
+                                       warp_merging=False),
+        "gpu+cdl+crs+wm": GpuKernelConfig(),
+    }
+    for label, cfg in stages.items():
+        engine = OptimizedGpuEngine(graph, params, cfg)
+        profile = engine.profile(device=device, n_sample_terms=n_trace_terms, seed=seed)
+        results[label] = profile.timing.total_s
+    return results

@@ -1,0 +1,89 @@
+"""Paper-style table formatting for the benchmark harness.
+
+Every benchmark prints the rows/series of the table or figure it reproduces.
+The helpers here keep that output consistent: fixed-width ASCII tables,
+h:mm:ss run-time formatting (as in Table VII), scientific notation matching
+the paper's dataset tables, and geometric means for the summary rows.
+"""
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["format_table", "format_hms", "format_sci", "geometric_mean", "format_markdown_table"]
+
+
+def format_hms(seconds: float) -> str:
+    """Format seconds as ``h:mm:ss`` (paper Table VII style)."""
+    if seconds < 0:
+        raise ValueError("seconds must be non-negative")
+    total = int(round(seconds))
+    h, rem = divmod(total, 3600)
+    m, s = divmod(rem, 60)
+    return f"{h}:{m:02d}:{s:02d}"
+
+
+def format_sci(value: float, digits: int = 1) -> str:
+    """Scientific notation like the paper's dataset tables (e.g. ``1.1e7``)."""
+    if value == 0:
+        return "0"
+    exponent = int(np.floor(np.log10(abs(value))))
+    mantissa = value / 10 ** exponent
+    return f"{mantissa:.{digits}f}e{exponent}"
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean (used for the speedup summary rows)."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("geometric mean of an empty sequence")
+    if np.any(arr <= 0):
+        raise ValueError("geometric mean requires positive values")
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+    float_fmt: str = "{:.3g}",
+) -> str:
+    """Render an ASCII table with aligned columns."""
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            return float_fmt.format(value)
+        return str(value)
+
+    str_rows = [[cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, value in enumerate(row):
+            widths[i] = max(widths[i], len(value))
+    sep = "-+-".join("-" * w for w in widths)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_markdown_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    float_fmt: str = "{:.3g}",
+) -> str:
+    """Render a GitHub-flavoured markdown table (used by EXPERIMENTS.md)."""
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            return float_fmt.format(value)
+        return str(value)
+
+    lines = ["| " + " | ".join(headers) + " |",
+             "|" + "|".join("---" for _ in headers) + "|"]
+    for row in rows:
+        lines.append("| " + " | ".join(cell(v) for v in row) + " |")
+    return "\n".join(lines)

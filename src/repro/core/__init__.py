@@ -1,0 +1,48 @@
+"""Path-guided SGD pangenome graph layout — the paper's core contribution.
+
+Exposes the layout parameters and schedule, the three engines (CPU baseline,
+batched PyTorch-style, optimized GPU kernel), the layout state with its
+SoA/AoS memory organisations, and the high-level :func:`layout_graph` API.
+"""
+from .params import LayoutParams
+from .schedule import make_schedule, distance_bounds
+from .layout import Layout, NodeDataLayout, initialize_layout, node_record_addresses
+from .selection import PairSampler, StepBatch, zipf_hop_distances
+from .updates import UpdateStats, apply_batch, batch_stress, compute_displacements
+from .base import IterationRecord, LayoutEngine, LayoutResult
+from .cpu_baseline import CpuBaselineEngine, SerialReferenceEngine
+from .batch_engine import BatchedLayoutEngine, OpProfile, KernelOp, PYTORCH_OP_SEQUENCE
+from .gpu_kernel import GpuKernelConfig, GpuProfile, OptimizedGpuEngine
+from .api import ENGINES, layout_graph, make_engine
+
+__all__ = [
+    "LayoutParams",
+    "make_schedule",
+    "distance_bounds",
+    "Layout",
+    "NodeDataLayout",
+    "initialize_layout",
+    "node_record_addresses",
+    "PairSampler",
+    "StepBatch",
+    "zipf_hop_distances",
+    "UpdateStats",
+    "apply_batch",
+    "batch_stress",
+    "compute_displacements",
+    "IterationRecord",
+    "LayoutEngine",
+    "LayoutResult",
+    "CpuBaselineEngine",
+    "SerialReferenceEngine",
+    "BatchedLayoutEngine",
+    "OpProfile",
+    "KernelOp",
+    "PYTORCH_OP_SEQUENCE",
+    "GpuKernelConfig",
+    "GpuProfile",
+    "OptimizedGpuEngine",
+    "ENGINES",
+    "layout_graph",
+    "make_engine",
+]

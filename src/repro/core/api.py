@@ -1,0 +1,94 @@
+"""High-level public API: lay out a pangenome graph with one call.
+
+:func:`layout_graph` is the entry point most users (and the examples) need:
+pick an engine, hand it a graph in any supported representation, get a
+:class:`~repro.core.base.LayoutResult` back. The individual engine classes
+remain available for experiments that need their extra knobs.
+"""
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..graph.lean import LeanGraph
+from ..graph.variation_graph import VariationGraph
+from .base import LayoutResult
+from .batch_engine import BatchedLayoutEngine
+from .cpu_baseline import CpuBaselineEngine, SerialReferenceEngine
+from .gpu_kernel import GpuKernelConfig, OptimizedGpuEngine
+from .params import LayoutParams
+
+__all__ = ["ENGINES", "layout_graph", "make_engine"]
+
+ENGINES = ("cpu", "serial", "batch", "gpu", "gpu-base")
+"""Engine names accepted by :func:`layout_graph`."""
+
+
+def _as_lean(graph: Union[VariationGraph, LeanGraph]) -> LeanGraph:
+    if isinstance(graph, LeanGraph):
+        return graph
+    if isinstance(graph, VariationGraph):
+        return LeanGraph.from_variation_graph(graph)
+    raise TypeError(
+        "graph must be a VariationGraph or LeanGraph, got " + type(graph).__name__
+    )
+
+
+def make_engine(
+    graph: Union[VariationGraph, LeanGraph],
+    engine: str = "cpu",
+    params: Optional[LayoutParams] = None,
+    gpu_config: Optional[GpuKernelConfig] = None,
+):
+    """Construct (but do not run) the requested layout engine.
+
+    Parameters
+    ----------
+    graph:
+        The pangenome graph to lay out.
+    engine:
+        ``"cpu"`` — Hogwild-emulating CPU baseline (odgi-layout);
+        ``"serial"`` — exact serial reference (small graphs only);
+        ``"batch"`` — PyTorch-style batched engine;
+        ``"gpu"`` — optimized GPU kernel (all optimisations on);
+        ``"gpu-base"`` — base CUDA kernel (no optimisations).
+    params:
+        Layout hyper-parameters; defaults to :class:`LayoutParams`.
+    gpu_config:
+        Optional kernel configuration for the ``"gpu"`` engine.
+    """
+    lean = _as_lean(graph)
+    params = params if params is not None else LayoutParams()
+    if engine == "cpu":
+        return CpuBaselineEngine(lean, params)
+    if engine == "serial":
+        return SerialReferenceEngine(lean, params)
+    if engine == "batch":
+        return BatchedLayoutEngine(lean, params)
+    if engine == "gpu":
+        cfg = gpu_config if gpu_config is not None else GpuKernelConfig()
+        return OptimizedGpuEngine(lean, params, cfg)
+    if engine == "gpu-base":
+        cfg = gpu_config if gpu_config is not None else GpuKernelConfig.baseline()
+        return OptimizedGpuEngine(lean, params, cfg)
+    raise ValueError(f"unknown engine {engine!r}; choose from {ENGINES}")
+
+
+def layout_graph(
+    graph: Union[VariationGraph, LeanGraph],
+    engine: str = "cpu",
+    params: Optional[LayoutParams] = None,
+    gpu_config: Optional[GpuKernelConfig] = None,
+) -> LayoutResult:
+    """Compute a 2-D layout of ``graph`` with the chosen engine.
+
+    Examples
+    --------
+    >>> from repro.synth import hla_drb1_like
+    >>> from repro.core import layout_graph, LayoutParams
+    >>> graph = hla_drb1_like(scale=0.05)
+    >>> result = layout_graph(graph, engine="gpu",
+    ...                       params=LayoutParams(iter_max=5, steps_per_step_unit=1.0))
+    >>> result.layout.coords.shape[0] == 2 * graph.n_nodes
+    True
+    """
+    return make_engine(graph, engine, params, gpu_config).run()

@@ -1,0 +1,153 @@
+"""Shared machinery for the layout engines.
+
+All three engines (CPU baseline, batched "PyTorch-style", optimized GPU
+kernel) run the same outer loop: for each iteration take the scheduled
+learning rate, draw update terms in batches, and apply them. They differ in
+batch granularity, in how randomness is organised (per thread / per warp),
+and in which hardware counters they expose. The common loop lives here so
+the engines stay focused on what the paper varies.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..graph.lean import LeanGraph
+from ..graph.path_index import PathIndex
+from ..prng.xoshiro import Xoshiro256Plus
+from .layout import Layout, NodeDataLayout, initialize_layout
+from .params import LayoutParams
+from .schedule import make_schedule
+from .selection import PairSampler, StepBatch
+from .updates import apply_batch, batch_stress
+
+__all__ = ["IterationRecord", "LayoutResult", "LayoutEngine"]
+
+
+@dataclass
+class IterationRecord:
+    """Per-iteration diagnostics recorded when ``params.record_history``."""
+
+    iteration: int
+    eta: float
+    sampled_stress: float
+    n_terms: int
+    n_collisions: int
+
+
+@dataclass
+class LayoutResult:
+    """Outcome of one layout run."""
+
+    layout: Layout
+    params: LayoutParams
+    engine: str
+    iterations: int
+    total_terms: int
+    history: List[IterationRecord] = field(default_factory=list)
+    counters: Dict[str, float] = field(default_factory=dict)
+
+    def final_stress(self) -> Optional[float]:
+        """Last recorded sampled stress (None when history is disabled)."""
+        if not self.history:
+            return None
+        return self.history[-1].sampled_stress
+
+
+class LayoutEngine:
+    """Base class implementing the iteration structure of Alg. 1."""
+
+    name = "base"
+
+    def __init__(self, graph: LeanGraph, params: Optional[LayoutParams] = None):
+        self.graph = graph
+        self.params = params if params is not None else LayoutParams()
+        self.index = PathIndex(graph)
+        self.sampler = PairSampler(graph, self.params, self.index)
+        self.schedule = make_schedule(graph, self.params)
+        self._counters: Dict[str, float] = {}
+
+    # ------------------------------------------------------------ interface
+    def batch_plan(self, steps_per_iteration: int) -> List[int]:
+        """Split one iteration's step budget into engine-specific batch sizes."""
+        raise NotImplementedError
+
+    def make_rng(self) -> Xoshiro256Plus:
+        """PRNG used to drive the sampler (engines may override stream count)."""
+        return Xoshiro256Plus(self.params.seed, n_streams=256)
+
+    def on_batch(self, batch: StepBatch, iteration: int, batch_index: int) -> StepBatch:
+        """Hook for engines to transform or account a batch before applying it."""
+        return batch
+
+    def draw_batch(
+        self, rng: Xoshiro256Plus, batch_size: int, iteration: int, batch_index: int
+    ) -> StepBatch:
+        """Draw one batch of update terms (engines may override the policy)."""
+        return self.sampler.sample(rng, batch_size, iteration)
+
+    # ------------------------------------------------------------------ run
+    def run(self, initial: Optional[Layout] = None) -> LayoutResult:
+        """Execute the full layout optimisation and return the result."""
+        params = self.params
+        layout = (
+            initial.copy()
+            if initial is not None
+            else initialize_layout(self.graph, seed=params.seed, data_layout=self.data_layout())
+        )
+        coords = layout.coords
+        rng = self.make_rng()
+        steps_per_iter = params.steps_per_iteration(self.graph.total_steps)
+        history: List[IterationRecord] = []
+        total_terms = 0
+        for iteration in range(params.iter_max):
+            eta = float(self.schedule[iteration])
+            n_collisions = 0
+            n_terms_iter = 0
+            stress_probe = 0.0
+            probe_count = 0
+            for batch_index, batch_size in enumerate(self.batch_plan(steps_per_iter)):
+                batch = self.draw_batch(rng, batch_size, iteration, batch_index)
+                batch = self.on_batch(batch, iteration, batch_index)
+                stats = apply_batch(coords, batch, eta, merge=self.merge_policy())
+                n_collisions += stats.n_point_collisions
+                n_terms_iter += stats.n_terms
+                if params.record_history and batch_index == 0:
+                    stress_probe += batch_stress(coords, batch)
+                    probe_count += 1
+            total_terms += n_terms_iter
+            if params.record_history:
+                history.append(
+                    IterationRecord(
+                        iteration=iteration,
+                        eta=eta,
+                        sampled_stress=stress_probe / max(probe_count, 1),
+                        n_terms=n_terms_iter,
+                        n_collisions=n_collisions,
+                    )
+                )
+        result_layout = Layout(coords, self.data_layout())
+        return LayoutResult(
+            layout=result_layout,
+            params=params,
+            engine=self.name,
+            iterations=params.iter_max,
+            total_terms=total_terms,
+            history=history,
+            counters=dict(self._counters),
+        )
+
+    # -------------------------------------------------------------- helpers
+    def merge_policy(self) -> str:
+        """Write-merge policy used for colliding in-batch updates."""
+        return "hogwild"
+
+    def data_layout(self) -> NodeDataLayout:
+        """Memory organisation this engine declares for node data."""
+        return NodeDataLayout.SOA
+
+    def add_counter(self, key: str, value: float) -> None:
+        """Accumulate a named counter exposed in the result."""
+        self._counters[key] = self._counters.get(key, 0.0) + value

@@ -1,0 +1,91 @@
+"""Layout parameters shared by every PG-SGD engine.
+
+The defaults follow ``odgi-layout`` (and the paper's experimental setup):
+30 iterations, ``N_steps = 10 × Σ|p|`` updates per iteration, a Zipf-like
+"cooling" node-pair distribution that activates in the second half of the
+run, and the Zheng-et-al. exponentially decaying learning-rate schedule.
+
+For the scaled datasets used in this reproduction the per-iteration step
+budget is configurable (``steps_per_step_unit``), because the paper's 10×
+multiplier targets million-node graphs; the ratios studied in the benchmarks
+are insensitive to the multiplier.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+__all__ = ["LayoutParams"]
+
+
+@dataclass(frozen=True)
+class LayoutParams:
+    """Hyper-parameters of the path-guided SGD layout (Alg. 1)."""
+
+    iter_max: int = 30
+    """Total number of outer iterations (N_iters in Alg. 1)."""
+
+    steps_per_step_unit: float = 10.0
+    """Updates per iteration expressed as a multiple of Σ|p| (paper: 10)."""
+
+    min_term_updates: int = 10
+    """Lower bound on updates per iteration for tiny graphs."""
+
+    eps: float = 0.01
+    """Learning-rate floor parameter (η_min = eps / w_max)."""
+
+    eta_max: Optional[float] = None
+    """Explicit η_max override; default is d_max² (1 / w_min)."""
+
+    cooling_start: float = 0.5
+    """Fraction of iterations after which every step uses the cooling branch."""
+
+    zipf_theta: float = 0.99
+    """Exponent of the Zipf distribution used for cooling node-pair selection."""
+
+    zipf_space_max: int = 1000
+    """Maximum hop distance the Zipf cooling distribution can select."""
+
+    seed: int = 9399
+    """PRNG seed (odgi-layout's default seed is 9399 for the path SGD)."""
+
+    n_threads: int = 1
+    """Simulated worker count for the Hogwild CPU baseline."""
+
+    batch_size: int = 65536
+    """Node-pair batch size for the batched (PyTorch-style) engine."""
+
+    record_history: bool = False
+    """Whether engines record per-iteration stress snapshots."""
+
+    def __post_init__(self) -> None:
+        if self.iter_max < 1:
+            raise ValueError("iter_max must be >= 1")
+        if self.steps_per_step_unit <= 0:
+            raise ValueError("steps_per_step_unit must be positive")
+        if self.min_term_updates < 1:
+            raise ValueError("min_term_updates must be >= 1")
+        if self.eps <= 0:
+            raise ValueError("eps must be positive")
+        if not 0.0 <= self.cooling_start <= 1.0:
+            raise ValueError("cooling_start must lie in [0, 1]")
+        if self.zipf_theta <= 0:
+            raise ValueError("zipf_theta must be positive")
+        if self.zipf_space_max < 1:
+            raise ValueError("zipf_space_max must be >= 1")
+        if self.n_threads < 1:
+            raise ValueError("n_threads must be >= 1")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+
+    def with_(self, **kwargs) -> "LayoutParams":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+    def steps_per_iteration(self, total_path_steps: int) -> int:
+        """N_steps for a graph with ``total_path_steps`` = Σ|p| (Alg. 1 line 1)."""
+        return max(self.min_term_updates, int(self.steps_per_step_unit * total_path_steps))
+
+    def first_cooling_iteration(self) -> int:
+        """Iteration index at which the cooling branch becomes unconditional."""
+        return int(self.cooling_start * self.iter_max)

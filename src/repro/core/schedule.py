@@ -1,0 +1,76 @@
+"""Learning-rate schedule for path-guided SGD.
+
+The schedule ``S`` in Alg. 1 follows Zheng, Pawar & Goodman ("Graph drawing
+by stochastic gradient descent", TVCG 2019), as adapted by ``odgi-layout``:
+
+* every stress term carries weight ``w_ij = d_ref(i,j)^-2``;
+* the per-term step size ``μ = η(t) · w_ij`` is capped at 1 so no single
+  update overshoots;
+* ``η`` decays exponentially from ``η_max = 1 / w_min = d_max²`` (so the
+  weakest term still moves at full strength initially) down to
+  ``η_min = eps / w_max = eps · d_min²``.
+
+The decay is computed per-iteration; all engines share this module so their
+layouts are comparable.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.lean import LeanGraph
+from .params import LayoutParams
+
+__all__ = ["make_schedule", "distance_bounds"]
+
+
+def distance_bounds(graph: LeanGraph) -> tuple[float, float]:
+    """Return (d_min, d_max): the extreme nonzero reference distances.
+
+    ``d_min`` is the smallest nonzero step-to-step nucleotide distance found
+    on any path (at least 1); ``d_max`` is the largest path nucleotide span.
+    """
+    d_min = np.inf
+    d_max = 0.0
+    for p in range(graph.n_paths):
+        sl = graph.path_steps(p)
+        pos = graph.step_positions[sl]
+        if pos.size < 2:
+            continue
+        diffs = np.diff(pos)
+        nonzero = diffs[diffs > 0]
+        if nonzero.size:
+            d_min = min(d_min, float(nonzero.min()))
+        last = sl.stop - 1
+        span = float(
+            graph.step_positions[last]
+            + graph.node_lengths[graph.step_nodes[last]]
+            - pos[0]
+        )
+        d_max = max(d_max, span)
+    if not np.isfinite(d_min):
+        d_min = 1.0
+    d_min = max(d_min, 1.0)
+    d_max = max(d_max, d_min)
+    return d_min, d_max
+
+
+def make_schedule(graph: LeanGraph, params: LayoutParams) -> np.ndarray:
+    """Compute the per-iteration learning rates η[0..iter_max-1].
+
+    Mirrors odgi-layout's ``path_linear_sgd_schedule``: exponential decay from
+    η_max to η_min over ``iter_max`` iterations (with a guard for the
+    single-iteration case).
+    """
+    d_min, d_max = distance_bounds(graph)
+    w_min = 1.0 / (d_max * d_max)
+    w_max = 1.0 / (d_min * d_min)
+    eta_max = params.eta_max if params.eta_max is not None else 1.0 / w_min
+    eta_min = params.eps / w_max
+    if eta_max <= 0 or eta_min <= 0:
+        raise ValueError("schedule bounds must be positive")
+    n = params.iter_max
+    if n == 1:
+        return np.array([eta_max], dtype=np.float64)
+    lam = np.log(eta_max / eta_min) / (n - 1)
+    t = np.arange(n, dtype=np.float64)
+    return eta_max * np.exp(-lam * t)

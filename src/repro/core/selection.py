@@ -1,0 +1,249 @@
+"""Random path and node-pair selection (Alg. 1 lines 5–13).
+
+Every update step of the path-guided SGD algorithm selects
+
+1. a path ``p`` with probability proportional to its step count,
+2. a pair of steps ``(i, j)`` on that path — uniformly during the exploration
+   phase, or with a Zipf-distributed hop distance during the *cooling* phase
+   (second half of the run plus a coin flip earlier), so that late updates
+   refine local structure, and
+3. one visualisation endpoint (segment start or end) per node, by coin flip.
+
+The paper identifies this randomness as both essential for quality
+(Sec. III-C, Fig. 6) and the source of the workload's irregular memory
+accesses. All selection here is vectorised over a batch of steps, driven by
+any of the multi-stream PRNGs in :mod:`repro.prng`.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Protocol
+
+import numpy as np
+
+from ..graph.lean import LeanGraph
+from ..graph.path_index import PathIndex
+from .params import LayoutParams
+
+__all__ = ["StepBatch", "PairSampler", "zipf_hop_distances"]
+
+
+class _MultiStreamRNG(Protocol):
+    """The minimal PRNG interface the sampler needs (uniform doubles)."""
+
+    def next_double(self) -> np.ndarray: ...  # pragma: no cover - protocol
+
+
+@dataclass
+class StepBatch:
+    """One batch of selected update terms.
+
+    All arrays have the same length (the batch size). ``flat_i`` / ``flat_j``
+    index into the lean graph's flat step arrays; ``node_i`` / ``node_j`` are
+    the corresponding graph nodes; ``vis_i`` / ``vis_j`` select the segment
+    endpoint (0 = start, 1 = end); ``d_ref`` is the reference nucleotide
+    distance along the shared path; ``in_cooling`` records which branch chose
+    the pair (used by the warp-divergence model).
+    """
+
+    path: np.ndarray
+    flat_i: np.ndarray
+    flat_j: np.ndarray
+    node_i: np.ndarray
+    node_j: np.ndarray
+    vis_i: np.ndarray
+    vis_j: np.ndarray
+    d_ref: np.ndarray
+    in_cooling: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.flat_i.size)
+
+    def nonzero_terms(self) -> "StepBatch":
+        """Drop terms whose reference distance is zero (no gradient defined)."""
+        keep = self.d_ref > 0
+        return StepBatch(
+            path=self.path[keep],
+            flat_i=self.flat_i[keep],
+            flat_j=self.flat_j[keep],
+            node_i=self.node_i[keep],
+            node_j=self.node_j[keep],
+            vis_i=self.vis_i[keep],
+            vis_j=self.vis_j[keep],
+            d_ref=self.d_ref[keep],
+            in_cooling=self.in_cooling[keep],
+        )
+
+
+def zipf_hop_distances(
+    uniform: np.ndarray, theta: float, space_max: int
+) -> np.ndarray:
+    """Map uniform draws to Zipf(θ)-distributed hop distances in [1, space_max].
+
+    Uses the standard inverse-CDF approximation for the (truncated) Zipf
+    distribution ("rejection-inversion" simplified to its inversion step),
+    which is what odgi-layout's ``dirty_zipfian_int_distribution`` computes.
+    For θ→1 the distribution approaches ``P(k) ∝ 1/k``.
+    """
+    if space_max < 1:
+        raise ValueError("space_max must be >= 1")
+    if theta <= 0:
+        raise ValueError("theta must be positive")
+    u = np.clip(np.asarray(uniform, dtype=np.float64), 0.0, 1.0 - 1e-12)
+    if space_max == 1:
+        return np.ones_like(u, dtype=np.int64)
+    one_minus_theta = 1.0 - theta
+    if abs(one_minus_theta) < 1e-9:
+        # θ == 1: CDF(k) ∝ log(k), invert directly.
+        k = np.exp(u * np.log(space_max + 1.0))
+    else:
+        h_max = ((space_max + 1.0) ** one_minus_theta - 1.0) / one_minus_theta
+        h = u * h_max
+        k = (h * one_minus_theta + 1.0) ** (1.0 / one_minus_theta)
+    return np.clip(np.floor(k).astype(np.int64), 1, space_max)
+
+
+class PairSampler:
+    """Vectorised sampler of update terms over a lean graph."""
+
+    def __init__(self, graph: LeanGraph, params: LayoutParams, index: Optional[PathIndex] = None):
+        self.graph = graph
+        self.params = params
+        self.index = index if index is not None else PathIndex(graph)
+        if graph.total_steps == 0:
+            raise ValueError("cannot sample node pairs from a graph without path steps")
+        self._offsets = graph.path_offsets
+        self._counts = graph.path_step_counts
+
+    # ------------------------------------------------------------------ API
+    def sample(
+        self,
+        rng: _MultiStreamRNG,
+        batch_size: int,
+        iteration: int,
+        forced_cooling: Optional[bool] = None,
+        cooling_mask: Optional[np.ndarray] = None,
+        path_override: Optional[np.ndarray] = None,
+    ) -> StepBatch:
+        """Draw ``batch_size`` update terms for ``iteration``.
+
+        ``forced_cooling`` overrides the cooling decision for every term and
+        ``cooling_mask`` overrides it per term (used by the warp-merging
+        kernel, where one control thread decides for the whole warp, and by
+        the quality study of Fig. 6). ``path_override`` forces the selected
+        path per term (used by the warp-shuffle data-reuse scheme, which
+        keeps every warp on one path).
+        """
+        draws = self._uniforms(rng, batch_size, 6)
+        # Line 5: path selection proportional to step count.
+        if path_override is not None:
+            paths = np.asarray(path_override, dtype=np.int64)
+            if paths.size != batch_size:
+                raise ValueError("path_override must have one entry per term")
+        else:
+            paths = self.index.sample_paths(draws[0])
+        starts = self._offsets[paths]
+        counts = self._counts[paths]
+        # Line 6: cooling decision = (iter >= iter_max/2) or coin flip.
+        if cooling_mask is not None:
+            cooling = np.asarray(cooling_mask, dtype=bool)
+            if cooling.size != batch_size:
+                raise ValueError("cooling_mask must have one entry per term")
+        elif forced_cooling is None:
+            always = iteration >= self.params.first_cooling_iteration()
+            cooling = np.full(batch_size, always, dtype=bool) | (draws[1] < 0.5)
+        else:
+            cooling = np.full(batch_size, bool(forced_cooling))
+        # First step of the pair: uniform within the path.
+        local_i = np.minimum((draws[2] * counts).astype(np.int64), counts - 1)
+        # Second step: uniform (exploration) or Zipf hop (cooling).
+        local_j_uniform = np.minimum((draws[3] * counts).astype(np.int64), counts - 1)
+        hops = zipf_hop_distances(draws[4], self.params.zipf_theta, self.params.zipf_space_max)
+        hops = np.minimum(hops, np.maximum(counts - 1, 1))
+        direction = np.where(draws[5] < 0.5, -1, 1)
+        local_j_zipf = local_i + direction * hops
+        # Reflect out-of-range hops back into the path.
+        local_j_zipf = np.where(local_j_zipf < 0, local_i + hops, local_j_zipf)
+        local_j_zipf = np.where(local_j_zipf >= counts, local_i - hops, local_j_zipf)
+        local_j_zipf = np.clip(local_j_zipf, 0, np.maximum(counts - 1, 0))
+        local_j = np.where(cooling, local_j_zipf, local_j_uniform)
+        # Avoid degenerate i == j pairs where the path has room.
+        same = (local_j == local_i) & (counts > 1)
+        local_j = np.where(same, (local_i + 1) % counts, local_j)
+
+        flat_i = starts + local_i
+        flat_j = starts + local_j
+        node_i = self.graph.step_nodes[flat_i]
+        node_j = self.graph.step_nodes[flat_j]
+        d_ref = np.abs(
+            self.graph.step_positions[flat_i] - self.graph.step_positions[flat_j]
+        ).astype(np.float64)
+        # Lines 12-13: endpoint coin flips.
+        vis_draws = self._uniforms(rng, batch_size, 2)
+        vis_i = (vis_draws[0] < 0.5).astype(np.int64)
+        vis_j = (vis_draws[1] < 0.5).astype(np.int64)
+        return StepBatch(
+            path=paths,
+            flat_i=flat_i,
+            flat_j=flat_j,
+            node_i=node_i,
+            node_j=node_j,
+            vis_i=vis_i,
+            vis_j=vis_j,
+            d_ref=d_ref,
+            in_cooling=cooling,
+        )
+
+    def sample_fixed_hop(self, rng: _MultiStreamRNG, batch_size: int, hop: int) -> StepBatch:
+        """Degenerate sampler forcing every pair to be exactly ``hop`` steps apart.
+
+        Reproduces the Fig. 6 experiment: removing randomness from node-pair
+        selection prevents convergence.
+        """
+        if hop < 1:
+            raise ValueError("hop must be >= 1")
+        draws = self._uniforms(rng, batch_size, 2)
+        paths = self.index.sample_paths(draws[0])
+        starts = self._offsets[paths]
+        counts = self._counts[paths]
+        local_i = np.minimum((draws[1] * counts).astype(np.int64), counts - 1)
+        local_j = np.clip(local_i + hop, 0, np.maximum(counts - 1, 0))
+        flat_i = starts + local_i
+        flat_j = starts + local_j
+        d_ref = np.abs(
+            self.graph.step_positions[flat_i] - self.graph.step_positions[flat_j]
+        ).astype(np.float64)
+        vis = self._uniforms(rng, batch_size, 2)
+        return StepBatch(
+            path=paths,
+            flat_i=flat_i,
+            flat_j=flat_j,
+            node_i=self.graph.step_nodes[flat_i],
+            node_j=self.graph.step_nodes[flat_j],
+            vis_i=(vis[0] < 0.5).astype(np.int64),
+            vis_j=(vis[1] < 0.5).astype(np.int64),
+            d_ref=d_ref,
+            in_cooling=np.zeros(batch_size, dtype=bool),
+        )
+
+    # -------------------------------------------------------------- helpers
+    @staticmethod
+    def _uniforms(rng: _MultiStreamRNG, batch_size: int, n_vectors: int) -> np.ndarray:
+        """Draw ``n_vectors`` independent uniform vectors of length ``batch_size``.
+
+        Multi-stream PRNGs return one value per stream per call; when the
+        stream count differs from the batch size the draws are tiled/cropped,
+        which preserves decorrelation across the batch because consecutive
+        calls advance every stream.
+        """
+        first = np.asarray(rng.next_double(), dtype=np.float64)
+        n_streams = first.size
+        need_calls = int(np.ceil(batch_size / n_streams))
+        rows = np.empty((n_vectors, need_calls * n_streams), dtype=np.float64)
+        rows[0, :n_streams] = first
+        for c in range(1, need_calls):
+            rows[0, c * n_streams:(c + 1) * n_streams] = rng.next_double()
+        for v in range(1, n_vectors):
+            for c in range(need_calls):
+                rows[v, c * n_streams:(c + 1) * n_streams] = rng.next_double()
+        return rows[:, :batch_size]

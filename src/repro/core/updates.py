@@ -1,0 +1,142 @@
+"""The stress-gradient update shared by every layout engine.
+
+Implements lines 14–15 of Alg. 1 following the odgi-layout / Zheng-et-al.
+formulation: each selected term ``(v_i, v_j, d_ref)`` moves both
+visualisation points along their connecting line so the layout distance
+approaches the reference distance, with a per-term step size
+``μ = min(η · d_ref^-2, 1)``.
+
+A *batch* of terms is applied at once. Within a batch every term reads the
+coordinates as they were at the start of the batch and the writes are merged
+afterwards — exactly the staleness the paper's Hogwild!/large-batch analysis
+discusses (Sec. III-A, IV-A): small batches behave like the serial algorithm,
+huge batches accumulate stale updates and degrade quality (Table III).
+
+Three write-merge policies are offered:
+
+* ``"hogwild"`` (default) — colliding terms' displacements are averaged per
+  point. Sequentially applied full-strength corrections each pull the point
+  toward their own target rather than stacking, so the average is the closest
+  batched proxy for asynchronous Hogwild stores; collision-free terms are
+  unaffected.
+* ``"accumulate"`` — displacements of colliding terms add up; faithful to a
+  pure gradient-sum formulation but can overshoot when the per-term step is
+  saturated (μ = 1), so it is exposed for sensitivity studies only.
+* ``"last_writer"`` — only one colliding term survives per point, modelling a
+  racy unsynchronised store; provided to study collision sensitivity.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .selection import StepBatch
+
+__all__ = ["UpdateStats", "compute_displacements", "apply_batch", "batch_stress"]
+
+_MIN_DISTANCE = 1e-9
+
+
+@dataclass
+class UpdateStats:
+    """Counters describing one applied batch (consumed by profiling models)."""
+
+    n_terms: int
+    n_zero_ref: int
+    n_point_collisions: int
+    mean_step_magnitude: float
+    max_step_magnitude: float
+
+
+def compute_displacements(
+    coords: np.ndarray, batch: StepBatch, eta: float
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-term displacement vectors for both endpoints of every term.
+
+    Returns ``(point_i, point_j, delta)`` where ``point_*`` are flat indices
+    into the ``(2N, 2)`` coordinate array and ``delta`` is the displacement to
+    subtract from point ``i`` (and add to point ``j``).
+    """
+    d_ref = batch.d_ref
+    valid = d_ref > 0
+    d_safe = np.where(valid, d_ref, 1.0)
+    w = 1.0 / (d_safe * d_safe)
+    mu = np.minimum(eta * w, 1.0)
+
+    point_i = 2 * batch.node_i + batch.vis_i
+    point_j = 2 * batch.node_j + batch.vis_j
+    diff = coords[point_i] - coords[point_j]
+    mag = np.sqrt(np.einsum("ij,ij->i", diff, diff))
+    mag_safe = np.maximum(mag, _MIN_DISTANCE)
+    delta_scalar = np.where(valid, mu * (mag - d_safe) / 2.0, 0.0)
+    # Degenerate coincident points: nudge along x to separate them.
+    unit = diff / mag_safe[:, None]
+    coincident = mag < _MIN_DISTANCE
+    if np.any(coincident):
+        unit[coincident] = np.array([1.0, 0.0])
+    delta = unit * delta_scalar[:, None]
+    return point_i, point_j, delta
+
+
+def apply_batch(
+    coords: np.ndarray,
+    batch: StepBatch,
+    eta: float,
+    merge: str = "hogwild",
+) -> UpdateStats:
+    """Apply one batch of updates to ``coords`` in place and return statistics."""
+    if merge not in ("hogwild", "accumulate", "last_writer"):
+        raise ValueError("merge must be 'hogwild', 'accumulate' or 'last_writer'")
+    if len(batch) == 0:
+        return UpdateStats(0, 0, 0, 0.0, 0.0)
+    point_i, point_j, delta = compute_displacements(coords, batch, eta)
+
+    all_points = np.concatenate([point_i, point_j])
+    all_deltas = np.concatenate([-delta, delta])
+    n_unique = np.unique(all_points).size
+    n_collisions = int(all_points.size - n_unique)
+
+    if merge == "accumulate":
+        np.add.at(coords, all_points, all_deltas)
+    elif merge == "hogwild":
+        summed = np.zeros_like(coords)
+        counts = np.zeros(coords.shape[0], dtype=np.float64)
+        np.add.at(summed, all_points, all_deltas)
+        np.add.at(counts, all_points, 1.0)
+        touched = counts > 0
+        coords[touched] += summed[touched] / counts[touched, None]
+    else:
+        # Last writer wins: keep only the final delta targeting each point,
+        # mirroring an unsynchronised store race.
+        reversed_points = all_points[::-1]
+        _, first_in_reversed = np.unique(reversed_points, return_index=True)
+        keep = all_points.size - 1 - first_in_reversed
+        coords[all_points[keep]] += all_deltas[keep]
+
+    mags = np.sqrt(np.einsum("ij,ij->i", delta, delta))
+    return UpdateStats(
+        n_terms=len(batch),
+        n_zero_ref=int((batch.d_ref <= 0).sum()),
+        n_point_collisions=n_collisions,
+        mean_step_magnitude=float(mags.mean()) if mags.size else 0.0,
+        max_step_magnitude=float(mags.max()) if mags.size else 0.0,
+    )
+
+
+def batch_stress(coords: np.ndarray, batch: StepBatch) -> float:
+    """Mean normalised stress of the batch's terms under the current layout.
+
+    This is the quantity minimised by the algorithm (Alg. 1 line 14) and the
+    building block of the path-stress metrics in :mod:`repro.metrics`.
+    """
+    valid = batch.d_ref > 0
+    if not np.any(valid):
+        return 0.0
+    point_i = 2 * batch.node_i + batch.vis_i
+    point_j = 2 * batch.node_j + batch.vis_j
+    diff = coords[point_i] - coords[point_j]
+    mag = np.sqrt(np.einsum("ij,ij->i", diff, diff))
+    d = batch.d_ref
+    terms = ((mag[valid] - d[valid]) / d[valid]) ** 2
+    return float(terms.mean())

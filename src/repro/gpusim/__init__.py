@@ -1,0 +1,56 @@
+"""GPU execution-model simulator (hardware stand-in).
+
+Models the aspects of GPU (and CPU) execution the paper's optimisations
+target: memory-request coalescing at sector granularity, set-associative
+caches, warp divergence, kernel-launch overhead, and an analytical timing
+model per device. The layout engines generate real address traces and branch
+decisions; this package turns them into the counters and run-time estimates
+reported in the paper's Tables II, VII and IX–XI and Figs. 5 and 16.
+"""
+from .device import (
+    DeviceSpec,
+    RTX_A6000,
+    A100,
+    XEON_6246R,
+    DEVICES,
+    PAPER_REFERENCE_NODE_COUNT,
+    scaled_cache_bytes,
+)
+from .coalescing import CoalescingReport, sectors_for_request, analyze_warp_requests
+from .cache import CacheConfig, CacheStats, CacheSimulator, CacheHierarchy
+from .warp import WarpExecutionStats, simulate_warp_execution, merge_branch_decisions
+from .profiler import (
+    MemoryTrafficProfile,
+    TopDownProfile,
+    WorkloadCounters,
+    memory_bound_analysis,
+)
+from .timing import TimingBreakdown, cpu_runtime, gpu_runtime, hogwild_thread_scaling
+
+__all__ = [
+    "DeviceSpec",
+    "RTX_A6000",
+    "A100",
+    "XEON_6246R",
+    "DEVICES",
+    "PAPER_REFERENCE_NODE_COUNT",
+    "scaled_cache_bytes",
+    "CoalescingReport",
+    "sectors_for_request",
+    "analyze_warp_requests",
+    "CacheConfig",
+    "CacheStats",
+    "CacheSimulator",
+    "CacheHierarchy",
+    "WarpExecutionStats",
+    "simulate_warp_execution",
+    "merge_branch_decisions",
+    "MemoryTrafficProfile",
+    "TopDownProfile",
+    "WorkloadCounters",
+    "memory_bound_analysis",
+    "TimingBreakdown",
+    "cpu_runtime",
+    "gpu_runtime",
+    "hogwild_thread_scaling",
+]

@@ -1,0 +1,78 @@
+"""Memory-request coalescing model.
+
+On NVIDIA GPUs, the 32 threads of a warp that execute a load instruction
+issue *one request*; the memory system then fetches every 32-byte *sector*
+the request touches. A fully coalesced request (consecutive 4-byte words)
+needs 4 sectors; a scattered request can need up to 32. The paper reports
+this as "L1 sectors per request" (Table X) and reduces it from 26.8 to 9.9 by
+transposing the cuRAND state from AoS to SoA ("coalesced random states").
+
+The functions here compute sectors-per-request for arbitrary per-thread
+address sets, which both the random-state layouts
+(:func:`repro.prng.xorshift.state_addresses`) and the node-data layouts
+(:func:`repro.core.layout.node_record_addresses`) feed.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["CoalescingReport", "sectors_for_request", "analyze_warp_requests"]
+
+
+@dataclass(frozen=True)
+class CoalescingReport:
+    """Aggregate coalescing statistics over many warp-level requests."""
+
+    n_requests: int
+    total_sectors: int
+    sector_bytes: int
+
+    @property
+    def sectors_per_request(self) -> float:
+        """Mean sectors fetched per warp request (paper's "L1 Sectors / Req")."""
+        if self.n_requests == 0:
+            return 0.0
+        return self.total_sectors / self.n_requests
+
+    @property
+    def bytes_transferred(self) -> int:
+        """Total bytes moved between L1 and the register file."""
+        return self.total_sectors * self.sector_bytes
+
+
+def sectors_for_request(
+    addresses: np.ndarray, access_bytes: int = 4, sector_bytes: int = 32
+) -> int:
+    """Number of distinct sectors one warp request touches.
+
+    ``addresses`` holds the per-thread byte addresses of a single load/store
+    instruction; ``access_bytes`` is the per-thread access width.
+    """
+    if sector_bytes <= 0 or access_bytes <= 0:
+        raise ValueError("sector_bytes and access_bytes must be positive")
+    addresses = np.asarray(addresses, dtype=np.int64)
+    if addresses.size == 0:
+        return 0
+    first = addresses // sector_bytes
+    last = (addresses + access_bytes - 1) // sector_bytes
+    sectors = set()
+    for f, l in zip(first.tolist(), last.tolist()):
+        sectors.update(range(f, l + 1))
+    return len(sectors)
+
+
+def analyze_warp_requests(
+    warp_address_sets: Iterable[np.ndarray],
+    access_bytes: int = 4,
+    sector_bytes: int = 32,
+) -> CoalescingReport:
+    """Coalescing statistics over a sequence of warp-level requests."""
+    n_requests = 0
+    total_sectors = 0
+    for addresses in warp_address_sets:
+        n_requests += 1
+        total_sectors += sectors_for_request(addresses, access_bytes, sector_bytes)
+    return CoalescingReport(n_requests, total_sectors, sector_bytes)

@@ -1,0 +1,141 @@
+"""Device descriptions for the execution-model simulator.
+
+The paper evaluates on an NVIDIA RTX A6000, an NVIDIA A100 and a 32-core
+Intel Xeon Gold 6246R. No GPU is available in this reproduction environment,
+so those devices exist here as parameter sets: SM/warp geometry, cache and
+sector sizes, memory bandwidth, and kernel-launch overhead. The cache and
+coalescing simulators use the geometric parameters; the analytical timing
+model (:mod:`repro.gpusim.timing`) uses the bandwidth/throughput parameters
+to turn measured counters into run-time estimates whose *ratios* reproduce
+the paper's speedup tables.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "DeviceSpec",
+    "RTX_A6000",
+    "A100",
+    "XEON_6246R",
+    "DEVICES",
+    "PAPER_REFERENCE_NODE_COUNT",
+    "scaled_cache_bytes",
+]
+
+#: Mean node count of the paper's 24 HPRC chromosome graphs (Table VI). The
+#: reproduction's datasets are scaled down from this size; cache capacities
+#: are scaled by the same factor so working-set-to-cache ratios — which decide
+#: hit rates under random access — match the full-scale experiments.
+PAPER_REFERENCE_NODE_COUNT = 4.0e6
+
+
+def scaled_cache_bytes(
+    full_size_bytes: float,
+    graph_n_nodes: int,
+    line_bytes: int,
+    associativity: int,
+    reference_n_nodes: float = PAPER_REFERENCE_NODE_COUNT,
+    min_lines: int = 64,
+) -> int:
+    """Scale a cache capacity to a reduced-size dataset.
+
+    Returns the capacity rounded down to a multiple of ``line_bytes ×
+    associativity`` (so it remains a valid set-associative geometry), with a
+    floor of ``min_lines`` cache lines.
+    """
+    if graph_n_nodes <= 0:
+        raise ValueError("graph_n_nodes must be positive")
+    factor = min(1.0, graph_n_nodes / reference_n_nodes)
+    granule = line_bytes * associativity
+    scaled = int(full_size_bytes * factor) // granule * granule
+    floor = max(granule, min_lines * line_bytes // granule * granule)
+    return max(scaled, floor, granule)
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Hardware parameters of one execution target."""
+
+    name: str
+    kind: str                     # "gpu" or "cpu"
+    n_sms: int                    # SMs (GPU) or cores (CPU)
+    warp_size: int                # threads per warp (GPU) / SIMD-ish width (CPU: 1)
+    max_warps_per_sm: int
+    sector_bytes: int             # memory transaction granularity
+    cache_line_bytes: int
+    l1_kb_per_sm: int
+    l2_mb: float
+    llc_mb: float                 # CPU last-level cache (0 for GPU)
+    dram_bandwidth_gbs: float
+    l2_bandwidth_gbs: float
+    clock_ghz: float
+    kernel_launch_overhead_us: float
+    flops_per_cycle_per_sm: float
+
+    @property
+    def concurrent_threads(self) -> int:
+        """Maximum resident threads (GPU) or hardware threads (CPU)."""
+        return self.n_sms * self.warp_size * self.max_warps_per_sm
+
+    @property
+    def peak_gflops(self) -> float:
+        """Peak double-rate compute throughput used by the roofline model."""
+        return self.n_sms * self.flops_per_cycle_per_sm * self.clock_ghz
+
+
+RTX_A6000 = DeviceSpec(
+    name="RTX A6000",
+    kind="gpu",
+    n_sms=84,
+    warp_size=32,
+    max_warps_per_sm=48,
+    sector_bytes=32,
+    cache_line_bytes=128,
+    l1_kb_per_sm=128,
+    l2_mb=6.0,
+    llc_mb=0.0,
+    dram_bandwidth_gbs=768.0,
+    l2_bandwidth_gbs=2000.0,
+    clock_ghz=1.80,
+    kernel_launch_overhead_us=8.0,
+    flops_per_cycle_per_sm=128.0,
+)
+
+A100 = DeviceSpec(
+    name="A100",
+    kind="gpu",
+    n_sms=108,
+    warp_size=32,
+    max_warps_per_sm=64,
+    sector_bytes=32,
+    cache_line_bytes=128,
+    l1_kb_per_sm=192,
+    l2_mb=40.0,
+    llc_mb=0.0,
+    dram_bandwidth_gbs=1555.0,
+    l2_bandwidth_gbs=4000.0,
+    clock_ghz=1.41,
+    kernel_launch_overhead_us=8.0,
+    flops_per_cycle_per_sm=128.0,
+)
+
+XEON_6246R = DeviceSpec(
+    name="Xeon Gold 6246R (32 threads)",
+    kind="cpu",
+    n_sms=32,                # hardware threads used by odgi-layout
+    warp_size=1,
+    max_warps_per_sm=1,
+    sector_bytes=64,
+    cache_line_bytes=64,
+    l1_kb_per_sm=32,
+    l2_mb=1.0,
+    llc_mb=35.75,
+    dram_bandwidth_gbs=140.0,
+    l2_bandwidth_gbs=900.0,
+    clock_ghz=3.4,
+    kernel_launch_overhead_us=0.0,
+    flops_per_cycle_per_sm=16.0,
+)
+
+DEVICES = {spec.name: spec for spec in (RTX_A6000, A100, XEON_6246R)}

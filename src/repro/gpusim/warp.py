@@ -1,0 +1,120 @@
+"""Warp-execution model: divergence and the warp-merging optimisation.
+
+Lines 7–11 of Alg. 1 branch between the cooling (Zipf-distance) and
+non-cooling (uniform) node-pair selection. On a GPU, the 32 threads of a warp
+execute in lock-step; when they disagree on the branch, both sides execute
+serially with part of the warp masked off. The paper measures this as the
+average number of active threads per warp (20.5 without the fix) and the
+total executed instructions, and removes the divergence by *warp merging*:
+one control thread per warp makes the branch decision for all 32 threads
+(Table XI, Fig. 11).
+
+This module computes those counters from the per-thread branch decisions the
+layout engines actually made, for both policies.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["WarpExecutionStats", "simulate_warp_execution", "merge_branch_decisions"]
+
+# Instruction-cost weights of the two branch bodies, relative to the shared
+# (non-branching) part of one update step. The cooling branch runs the Zipf
+# sampling (more instructions) than the uniform branch; the shared part
+# (coordinate load, gradient, store) dominates.
+_SHARED_INSTRUCTIONS = 48
+_COOLING_INSTRUCTIONS = 26
+_UNIFORM_INSTRUCTIONS = 14
+
+
+@dataclass(frozen=True)
+class WarpExecutionStats:
+    """Execution counters over a set of warp-steps."""
+
+    n_warp_steps: int
+    executed_instructions: int
+    issued_thread_instructions: int
+    active_thread_instructions: int
+
+    @property
+    def avg_active_threads(self) -> float:
+        """Average active threads per warp per executed instruction."""
+        if self.executed_instructions == 0:
+            return 0.0
+        return self.active_thread_instructions / self.executed_instructions
+
+    @property
+    def divergence_overhead(self) -> float:
+        """Ratio of issued to useful thread-instructions (1.0 = no divergence)."""
+        if self.active_thread_instructions == 0:
+            return 0.0
+        return self.issued_thread_instructions / self.active_thread_instructions
+
+
+def merge_branch_decisions(cooling: np.ndarray, warp_size: int = 32) -> np.ndarray:
+    """Apply warp merging: every thread adopts its warp's control-thread decision.
+
+    The control thread is lane 0 of each warp (the paper stores the decision
+    in shared memory for the rest of the warp to read). Trailing partial
+    warps use their own lane 0.
+    """
+    cooling = np.asarray(cooling, dtype=bool)
+    merged = cooling.copy()
+    n = cooling.size
+    for start in range(0, n, warp_size):
+        merged[start:start + warp_size] = cooling[start]
+    return merged
+
+
+def simulate_warp_execution(
+    cooling: np.ndarray,
+    warp_size: int = 32,
+    warp_merging: bool = False,
+) -> WarpExecutionStats:
+    """Compute execution counters for a sequence of per-thread branch decisions.
+
+    ``cooling`` is the flat per-thread boolean branch outcome, laid out so
+    consecutive ``warp_size`` entries form one warp (how the GPU engine packs
+    its batches). With ``warp_merging`` the decisions are first merged via
+    :func:`merge_branch_decisions`.
+    """
+    cooling = np.asarray(cooling, dtype=bool)
+    if cooling.ndim != 1:
+        raise ValueError("cooling must be a flat per-thread array")
+    if warp_size < 1:
+        raise ValueError("warp_size must be >= 1")
+    if warp_merging:
+        cooling = merge_branch_decisions(cooling, warp_size)
+
+    n = cooling.size
+    n_warps = int(np.ceil(n / warp_size))
+    executed = 0
+    issued = 0
+    active = 0
+    for w in range(n_warps):
+        lane_mask = cooling[w * warp_size:(w + 1) * warp_size]
+        lanes = lane_mask.size
+        n_cooling = int(lane_mask.sum())
+        n_uniform = lanes - n_cooling
+        # Shared portion: all lanes active.
+        executed += _SHARED_INSTRUCTIONS
+        issued += _SHARED_INSTRUCTIONS * lanes
+        active += _SHARED_INSTRUCTIONS * lanes
+        # Cooling side: executed whenever any lane takes it; all lanes issued,
+        # only the cooling lanes do useful work.
+        if n_cooling:
+            executed += _COOLING_INSTRUCTIONS
+            issued += _COOLING_INSTRUCTIONS * lanes
+            active += _COOLING_INSTRUCTIONS * n_cooling
+        if n_uniform:
+            executed += _UNIFORM_INSTRUCTIONS
+            issued += _UNIFORM_INSTRUCTIONS * lanes
+            active += _UNIFORM_INSTRUCTIONS * n_uniform
+    return WarpExecutionStats(
+        n_warp_steps=n_warps,
+        executed_instructions=executed,
+        issued_thread_instructions=issued,
+        active_thread_instructions=active,
+    )

@@ -1,0 +1,221 @@
+"""Construction of variation graphs from genome sequences and variants.
+
+The HPRC graphs evaluated in the paper are produced by the PGGB pipeline
+(alignment + seqwish + smoothxg). Reproducing that pipeline is out of scope,
+but the layout algorithm only cares about the *structure* it produces: a
+mostly-linear backbone of shared nodes with bubbles (SNVs, indels), larger
+structural-variant detours, and occasional loops. This module builds exactly
+those structures deterministically from explicit variant descriptions — it is
+the construction layer beneath :mod:`repro.synth`, and is also handy for
+writing small, exact test graphs (e.g. the Fig. 1 example).
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .variation_graph import VariationGraph
+
+__all__ = [
+    "Variant",
+    "snv",
+    "insertion",
+    "deletion",
+    "GraphBuilder",
+    "build_from_variants",
+    "figure1_example",
+]
+
+
+@dataclass(frozen=True)
+class Variant:
+    """A variant relative to the backbone genome.
+
+    Attributes
+    ----------
+    kind:
+        ``"snv"``, ``"ins"`` or ``"del"``.
+    position:
+        0-based nucleotide offset on the backbone where the variant applies.
+    alt:
+        Alternate sequence (SNV replacement base or inserted sequence).
+    length:
+        Deleted length for ``"del"`` variants.
+    carriers:
+        Indices of the genomes (paths) that carry the alternate allele.
+    """
+
+    kind: str
+    position: int
+    alt: str = ""
+    length: int = 0
+    carriers: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("snv", "ins", "del"):
+            raise ValueError(f"unknown variant kind {self.kind!r}")
+        if self.position < 0:
+            raise ValueError("variant position must be non-negative")
+        if self.kind == "snv" and len(self.alt) != 1:
+            raise ValueError("SNV requires a single alternate base")
+        if self.kind == "ins" and not self.alt:
+            raise ValueError("insertion requires a non-empty alternate sequence")
+        if self.kind == "del" and self.length <= 0:
+            raise ValueError("deletion requires a positive length")
+
+
+def snv(position: int, alt: str, carriers: Sequence[int]) -> Variant:
+    """Convenience constructor for a single-nucleotide variant."""
+    return Variant("snv", position, alt=alt, carriers=tuple(carriers))
+
+
+def insertion(position: int, alt: str, carriers: Sequence[int]) -> Variant:
+    """Convenience constructor for an insertion."""
+    return Variant("ins", position, alt=alt, carriers=tuple(carriers))
+
+
+def deletion(position: int, length: int, carriers: Sequence[int]) -> Variant:
+    """Convenience constructor for a deletion."""
+    return Variant("del", position, length=length, carriers=tuple(carriers))
+
+
+class GraphBuilder:
+    """Incremental builder producing a :class:`VariationGraph`."""
+
+    def __init__(self) -> None:
+        self.graph = VariationGraph()
+        self._next_id = 0
+
+    def new_node(self, sequence: str) -> int:
+        """Create a node with the next free id and return the id."""
+        node_id = self._next_id
+        self._next_id += 1
+        self.graph.add_node(node_id, sequence)
+        return node_id
+
+    def chain(self, node_ids: Sequence[int]) -> None:
+        """Add edges connecting consecutive nodes of a walk."""
+        for a, b in zip(node_ids[:-1], node_ids[1:]):
+            self.graph.add_edge(a, b)
+
+    def add_genome(self, name: str, node_ids: Sequence[int]) -> None:
+        """Register a path and ensure its adjacencies exist as edges."""
+        self.chain(node_ids)
+        self.graph.add_path(name, [(nid, False) for nid in node_ids])
+
+
+def build_from_variants(
+    reference: str,
+    variants: Sequence[Variant],
+    n_genomes: int,
+    genome_names: Optional[Sequence[str]] = None,
+    segment_length: int = 32,
+) -> VariationGraph:
+    """Build a variation graph from a reference sequence and variant list.
+
+    The reference is cut at every variant breakpoint (and additionally into
+    chunks of at most ``segment_length`` to mimic seqwish node granularity).
+    Every genome path walks the backbone, diverting through alternate nodes
+    at the variants it carries.
+    """
+    if n_genomes < 1:
+        raise ValueError("need at least one genome")
+    if genome_names is None:
+        genome_names = [f"genome{i}" for i in range(n_genomes)]
+    if len(genome_names) != n_genomes:
+        raise ValueError("genome_names must have n_genomes entries")
+    ref_len = len(reference)
+    for v in variants:
+        end = v.position + (v.length if v.kind == "del" else (1 if v.kind == "snv" else 0))
+        if end > ref_len:
+            raise ValueError(f"variant at {v.position} extends past the reference end")
+
+    # Breakpoints: variant boundaries plus regular chunk boundaries.
+    cuts = {0, ref_len}
+    for v in variants:
+        cuts.add(v.position)
+        if v.kind == "snv":
+            cuts.add(v.position + 1)
+        elif v.kind == "del":
+            cuts.add(v.position + v.length)
+        else:
+            cuts.add(v.position)
+    pos = 0
+    while pos < ref_len:
+        cuts.add(pos)
+        pos += max(1, segment_length)
+    boundaries = sorted(cuts)
+
+    builder = GraphBuilder()
+    # Backbone segments between consecutive boundaries.
+    segment_ids: List[int] = []
+    segment_spans: List[Tuple[int, int]] = []
+    for start, stop in zip(boundaries[:-1], boundaries[1:]):
+        if stop > start:
+            segment_ids.append(builder.new_node(reference[start:stop]))
+            segment_spans.append((start, stop))
+
+    span_starting_at: Dict[int, int] = {span[0]: idx for idx, span in enumerate(segment_spans)}
+
+    # Alternate-allele nodes.
+    alt_nodes: Dict[int, int] = {}
+    for v_idx, v in enumerate(variants):
+        if v.kind in ("snv", "ins"):
+            alt_nodes[v_idx] = builder.new_node(v.alt)
+
+    # Build each genome's walk.
+    for g in range(n_genomes):
+        walk: List[int] = []
+        seg_idx = 0
+        while seg_idx < len(segment_spans):
+            start, stop = segment_spans[seg_idx]
+            consumed = False
+            for v_idx, v in enumerate(variants):
+                if g not in v.carriers:
+                    continue
+                if v.kind == "snv" and v.position == start and stop == start + 1:
+                    walk.append(alt_nodes[v_idx])
+                    consumed = True
+                    break
+                if v.kind == "del" and v.position == start:
+                    # Skip backbone segments covering [position, position+length).
+                    skip_until = v.position + v.length
+                    while seg_idx < len(segment_spans) and segment_spans[seg_idx][1] <= skip_until:
+                        seg_idx += 1
+                    consumed = True
+                    seg_idx -= 1  # compensate the outer increment
+                    break
+            if not consumed:
+                walk.append(segment_ids[seg_idx])
+            # Insertions apply after the segment that ends at their position.
+            for v_idx, v in enumerate(variants):
+                if v.kind == "ins" and g in v.carriers and v.position == segment_spans[seg_idx][1]:
+                    walk.append(alt_nodes[v_idx])
+            seg_idx += 1
+        # Leading insertion at position 0.
+        for v_idx, v in enumerate(variants):
+            if v.kind == "ins" and g in v.carriers and v.position == 0:
+                walk.insert(0, alt_nodes[v_idx])
+        builder.add_genome(genome_names[g], walk)
+    return builder.graph
+
+
+def figure1_example() -> VariationGraph:
+    """The small variation graph of the paper's Fig. 1.
+
+    Three genomes over eight nodes: an insertion (``T``), an SNV (``C``/``G``)
+    and a deletion, matching the walks listed in the figure.
+    """
+    builder = GraphBuilder()
+    v0 = builder.new_node("AA")     # shared prefix
+    v1 = builder.new_node("T")      # insertion carried by path2
+    v2 = builder.new_node("GC")     # shared
+    v3 = builder.new_node("C")      # SNV allele (path2)
+    v4 = builder.new_node("G")      # SNV allele (path0, path1)
+    v5 = builder.new_node("CA")     # shared
+    v6 = builder.new_node("AA")     # deleted in path1
+    v7 = builder.new_node("C")      # shared suffix
+    builder.add_genome("path0", [v0, v2, v4, v5, v6, v7])
+    builder.add_genome("path1", [v0, v2, v4, v5, v7])
+    builder.add_genome("path2", [v0, v1, v2, v3, v5, v6, v7])
+    return builder.graph

@@ -1,0 +1,190 @@
+"""GFA v1 parsing and serialisation.
+
+The HPRC pangenomes evaluated in the paper are distributed as GFA files and
+converted to ODGI's binary format before layout. This module implements the
+subset of GFA v1 that variation graphs use:
+
+* ``H`` header lines (version tag),
+* ``S`` segment lines (``S <name> <sequence>``), optionally with ``LN:i:``
+  length tags in place of an explicit sequence,
+* ``L`` link lines (``L <from> <+/-> <to> <+/-> <overlap>``),
+* ``P`` path lines (``P <name> <steps> <overlaps>``), where steps are
+  comma-separated ``<segment><+/->`` items.
+
+Segment names may be arbitrary strings; they are mapped to dense integer node
+ids in input order, and the mapping is preserved on round-trip so layouts can
+be joined back to the original names.
+"""
+from __future__ import annotations
+
+import io
+import os
+from typing import Dict, Iterable, List, TextIO, Tuple, Union
+
+from .variation_graph import VariationGraph
+
+__all__ = ["parse_gfa", "parse_gfa_text", "write_gfa", "gfa_to_text", "GFAError"]
+
+
+class GFAError(ValueError):
+    """Raised when a GFA document is malformed."""
+
+
+def _open_maybe(path_or_handle: Union[str, os.PathLike, TextIO]) -> Tuple[TextIO, bool]:
+    if hasattr(path_or_handle, "read"):
+        return path_or_handle, False  # type: ignore[return-value]
+    return open(path_or_handle, "r", encoding="utf-8"), True
+
+
+def parse_gfa(source: Union[str, os.PathLike, TextIO]) -> VariationGraph:
+    """Parse a GFA v1 file (path or handle) into a :class:`VariationGraph`."""
+    handle, owned = _open_maybe(source)
+    try:
+        return _parse_lines(handle)
+    finally:
+        if owned:
+            handle.close()
+
+
+def parse_gfa_text(text: str) -> VariationGraph:
+    """Parse GFA v1 from an in-memory string."""
+    return _parse_lines(io.StringIO(text))
+
+
+def _parse_lines(handle: Iterable[str]) -> VariationGraph:
+    graph = VariationGraph()
+    name_to_id: Dict[str, int] = {}
+    pending_links: List[Tuple[str, bool, str, bool]] = []
+    pending_paths: List[Tuple[str, List[Tuple[str, bool]]]] = []
+
+    for lineno, raw in enumerate(handle, start=1):
+        line = raw.rstrip("\n")
+        if not line or line.startswith("#"):
+            continue
+        fields = line.split("\t")
+        tag = fields[0]
+        if tag == "H":
+            continue
+        if tag == "S":
+            if len(fields) < 3:
+                raise GFAError(f"line {lineno}: S line needs name and sequence")
+            name, seq = fields[1], fields[2]
+            if name in name_to_id:
+                raise GFAError(f"line {lineno}: duplicate segment '{name}'")
+            if seq == "*":
+                seq = _sequence_from_tags(fields[3:], lineno)
+            node_id = len(name_to_id)
+            name_to_id[name] = node_id
+            graph.add_node(node_id, seq)
+        elif tag == "L":
+            if len(fields) < 5:
+                raise GFAError(f"line {lineno}: L line needs 5 fields")
+            pending_links.append(
+                (fields[1], fields[2] == "-", fields[3], fields[4] == "-")
+            )
+            if fields[2] not in "+-" or fields[4] not in "+-":
+                raise GFAError(f"line {lineno}: invalid orientation in L line")
+        elif tag == "P":
+            if len(fields) < 3:
+                raise GFAError(f"line {lineno}: P line needs name and steps")
+            steps = _parse_path_steps(fields[2], lineno)
+            pending_paths.append((fields[1], steps))
+        elif tag in ("W", "C", "J"):
+            # Walks / containments / jumps are valid GFA but unused by layout.
+            continue
+        else:
+            raise GFAError(f"line {lineno}: unknown record type '{tag}'")
+
+    for from_name, from_rev, to_name, to_rev in pending_links:
+        try:
+            graph.add_edge(
+                name_to_id[from_name], name_to_id[to_name], from_rev, to_rev
+            )
+        except KeyError as exc:
+            raise GFAError(f"link references unknown segment {exc}") from exc
+
+    for path_name, steps in pending_paths:
+        try:
+            graph.add_path(
+                path_name, [(name_to_id[n], rev) for n, rev in steps]
+            )
+        except KeyError as exc:
+            raise GFAError(
+                f"path '{path_name}' references unknown segment {exc}"
+            ) from exc
+
+    graph.segment_names = {v: k for k, v in name_to_id.items()}  # type: ignore[attr-defined]
+    return graph
+
+
+def _sequence_from_tags(tags: List[str], lineno: int) -> str:
+    for tag in tags:
+        if tag.startswith("LN:i:"):
+            try:
+                length = int(tag[5:])
+            except ValueError as exc:
+                raise GFAError(f"line {lineno}: bad LN tag '{tag}'") from exc
+            if length < 0:
+                raise GFAError(f"line {lineno}: negative LN tag")
+            return "N" * length
+    raise GFAError(f"line {lineno}: segment with '*' sequence requires an LN:i: tag")
+
+
+def _parse_path_steps(step_field: str, lineno: int) -> List[Tuple[str, bool]]:
+    steps: List[Tuple[str, bool]] = []
+    if step_field == "*":
+        return steps
+    for item in step_field.split(","):
+        if not item:
+            raise GFAError(f"line {lineno}: empty path step")
+        orient = item[-1]
+        if orient not in "+-":
+            raise GFAError(f"line {lineno}: path step '{item}' lacks orientation")
+        steps.append((item[:-1], orient == "-"))
+    return steps
+
+
+def gfa_to_text(graph: VariationGraph, store_sequence: bool = True) -> str:
+    """Serialise a graph to a GFA v1 string.
+
+    When ``store_sequence`` is ``False``, sequences are written as ``*`` with
+    ``LN:i:`` length tags — the lean form sufficient for layout.
+    """
+    names = getattr(graph, "segment_names", None) or {}
+    out: List[str] = ["H\tVN:Z:1.0"]
+    for node in graph.nodes():
+        name = names.get(node.node_id, str(node.node_id + 1))
+        if store_sequence:
+            out.append(f"S\t{name}\t{node.sequence if node.sequence else '*'}"
+                       + ("" if node.sequence else "\tLN:i:0"))
+        else:
+            out.append(f"S\t{name}\t*\tLN:i:{node.length}")
+    for edge in graph.edges():
+        fn = names.get(edge.from_id, str(edge.from_id + 1))
+        tn = names.get(edge.to_id, str(edge.to_id + 1))
+        out.append(
+            "L\t{}\t{}\t{}\t{}\t0M".format(
+                fn, "-" if edge.from_rev else "+", tn, "-" if edge.to_rev else "+"
+            )
+        )
+    for path in graph.paths():
+        steps = ",".join(
+            f"{names.get(s.node_id, str(s.node_id + 1))}{'-' if s.is_reverse else '+'}"
+            for s in path.steps
+        )
+        out.append(f"P\t{path.name}\t{steps if steps else '*'}\t*")
+    return "\n".join(out) + "\n"
+
+
+def write_gfa(
+    graph: VariationGraph,
+    destination: Union[str, os.PathLike, TextIO],
+    store_sequence: bool = True,
+) -> None:
+    """Write a graph as GFA v1 to a path or file handle."""
+    text = gfa_to_text(graph, store_sequence=store_sequence)
+    if hasattr(destination, "write"):
+        destination.write(text)  # type: ignore[union-attr]
+        return
+    with open(destination, "w", encoding="utf-8") as handle:
+        handle.write(text)

@@ -1,0 +1,110 @@
+"""Graph statistics used throughout the paper's tables.
+
+Tables I and VI report, per pangenome graph: number of nucleotides, nodes,
+edges and paths, the average node degree and the graph density. This module
+computes those statistics from either representation and aggregates them over
+a dataset suite (min / max / mean rows of Table VI).
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Union
+
+import numpy as np
+
+from .lean import LeanGraph
+from .variation_graph import VariationGraph
+
+__all__ = ["GraphStats", "compute_stats", "aggregate_stats", "estimate_edge_count"]
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Summary statistics of one variation graph (one row of Table I / VI)."""
+
+    name: str
+    n_nucleotides: int
+    n_nodes: int
+    n_edges: int
+    n_paths: int
+    avg_degree: float
+    density: float
+    total_path_steps: int
+
+    def as_dict(self) -> Dict[str, Union[str, int, float]]:
+        """Dictionary form, convenient for table formatting."""
+        return {
+            "name": self.name,
+            "n_nucleotides": self.n_nucleotides,
+            "n_nodes": self.n_nodes,
+            "n_edges": self.n_edges,
+            "n_paths": self.n_paths,
+            "avg_degree": self.avg_degree,
+            "density": self.density,
+            "total_path_steps": self.total_path_steps,
+        }
+
+
+def estimate_edge_count(graph: LeanGraph) -> int:
+    """Count distinct consecutive node pairs over all paths.
+
+    The lean structure does not store the edge list explicitly (layout never
+    uses it); the variation-graph edge set is, by construction, the set of
+    ordered node pairs adjacent on some path, which we recover here for the
+    statistics tables.
+    """
+    pairs = set()
+    offsets = graph.path_offsets
+    nodes = graph.step_nodes
+    for p in range(graph.n_paths):
+        start, stop = int(offsets[p]), int(offsets[p + 1])
+        if stop - start < 2:
+            continue
+        a = nodes[start:stop - 1]
+        b = nodes[start + 1:stop]
+        pairs.update(zip(a.tolist(), b.tolist()))
+    return len(pairs)
+
+
+def compute_stats(
+    graph: Union[VariationGraph, LeanGraph],
+    name: str = "graph",
+    n_edges: Optional[int] = None,
+) -> GraphStats:
+    """Compute Table I / VI statistics for a single graph.
+
+    Average degree is ``2 * E / V`` (undirected convention used by the paper,
+    giving ≈1.4 for HPRC graphs); density is ``E / (V * (V - 1))``.
+    """
+    if isinstance(graph, VariationGraph):
+        lean = LeanGraph.from_variation_graph(graph)
+        edges = graph.edge_count if n_edges is None else n_edges
+    else:
+        lean = graph
+        edges = estimate_edge_count(lean) if n_edges is None else n_edges
+    n_nodes = lean.n_nodes
+    avg_degree = (2.0 * edges / n_nodes) if n_nodes else 0.0
+    density = (edges / (n_nodes * (n_nodes - 1))) if n_nodes > 1 else 0.0
+    return GraphStats(
+        name=name,
+        n_nucleotides=lean.total_sequence_length,
+        n_nodes=n_nodes,
+        n_edges=edges,
+        n_paths=lean.n_paths,
+        avg_degree=avg_degree,
+        density=density,
+        total_path_steps=lean.total_steps,
+    )
+
+
+def aggregate_stats(stats: Iterable[GraphStats]) -> Dict[str, Dict[str, float]]:
+    """Aggregate a suite of graphs into Min / Max / Mean rows (Table VI)."""
+    rows: List[GraphStats] = list(stats)
+    if not rows:
+        raise ValueError("aggregate_stats requires at least one graph")
+    fields = ["n_nucleotides", "n_nodes", "n_edges", "n_paths", "avg_degree", "density"]
+    arrays = {f: np.array([getattr(r, f) for r in rows], dtype=np.float64) for f in fields}
+    out: Dict[str, Dict[str, float]] = {}
+    for label, fn in (("min", np.min), ("max", np.max), ("mean", np.mean)):
+        out[label] = {f: float(fn(arrays[f])) for f in fields}
+    return out

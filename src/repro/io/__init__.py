@@ -1,0 +1,4 @@
+"""Layout persistence: binary ``.lay`` files and TSV export."""
+from .layout_file import write_lay, read_lay, write_tsv, read_tsv, LayFormatError
+
+__all__ = ["write_lay", "read_lay", "write_tsv", "read_tsv", "LayFormatError"]

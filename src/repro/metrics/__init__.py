@@ -1,0 +1,28 @@
+"""Layout-quality metrics: path stress, sampled path stress, quality bands."""
+from .stress import pair_stress_terms, path_stress, count_path_pairs
+from .sampled_stress import (
+    SampledStress,
+    sampled_path_stress,
+    stress_ratio,
+    correlation_study,
+)
+from .quality import (
+    QualityBand,
+    classify_quality,
+    GOOD_THRESHOLD,
+    SATISFYING_THRESHOLD,
+)
+
+__all__ = [
+    "pair_stress_terms",
+    "path_stress",
+    "count_path_pairs",
+    "SampledStress",
+    "sampled_path_stress",
+    "stress_ratio",
+    "correlation_study",
+    "QualityBand",
+    "classify_quality",
+    "GOOD_THRESHOLD",
+    "SATISFYING_THRESHOLD",
+]

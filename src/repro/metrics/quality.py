@@ -1,0 +1,45 @@
+"""Quality classification bands used in the paper's case studies.
+
+Table III labels layouts "Good" / "Satisfying" / "Poor" and Fig. 17 defines
+the bands quantitatively: a layout whose (sampled) path stress is below 2×
+the reference layout's stress is *good*, below 10× is *satisfying*, and
+anything above is *poor*. The same bands are used for the batch-size sweep
+and the data-reuse design-space exploration.
+"""
+from __future__ import annotations
+
+from enum import Enum
+
+__all__ = ["QualityBand", "classify_quality", "GOOD_THRESHOLD", "SATISFYING_THRESHOLD"]
+
+GOOD_THRESHOLD = 2.0
+SATISFYING_THRESHOLD = 10.0
+
+
+class QualityBand(str, Enum):
+    """Qualitative layout-quality label."""
+
+    GOOD = "Good"
+    SATISFYING = "Satisfying"
+    POOR = "Poor"
+
+
+def classify_quality(
+    stress_value: float,
+    reference_stress: float,
+    good_threshold: float = GOOD_THRESHOLD,
+    satisfying_threshold: float = SATISFYING_THRESHOLD,
+) -> QualityBand:
+    """Classify a layout's stress relative to a reference layout's stress."""
+    if reference_stress < 0 or stress_value < 0:
+        raise ValueError("stress values must be non-negative")
+    if good_threshold <= 0 or satisfying_threshold <= good_threshold:
+        raise ValueError("thresholds must satisfy 0 < good < satisfying")
+    if reference_stress == 0:
+        return QualityBand.GOOD if stress_value == 0 else QualityBand.POOR
+    ratio = stress_value / reference_stress
+    if ratio < good_threshold:
+        return QualityBand.GOOD
+    if ratio < satisfying_threshold:
+        return QualityBand.SATISFYING
+    return QualityBand.POOR

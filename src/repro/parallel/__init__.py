@@ -1,0 +1,18 @@
+"""Parallel-execution substrate: Hogwild collision analysis and thread-scaling models."""
+from .hogwild import CollisionReport, expected_collision_probability, measure_collisions
+from .scaling import (
+    ThreadScalingResult,
+    cpu_thread_scaling,
+    chunk_schedule,
+    cpu_cache_profile,
+)
+
+__all__ = [
+    "CollisionReport",
+    "expected_collision_probability",
+    "measure_collisions",
+    "ThreadScalingResult",
+    "cpu_thread_scaling",
+    "chunk_schedule",
+    "cpu_cache_profile",
+]

@@ -1,0 +1,23 @@
+"""Pseudo-random number generators used by the pangenome layout engines.
+
+The paper's CPU baseline (``odgi-layout``) uses Xoshiro256+; its GPU kernel
+uses cuRAND's XORWOW xorshift generator with one state per thread. Both are
+reproduced here as vectorised multi-stream generators, along with SplitMix64
+seeding and the AoS/SoA state-layout distinction at the heart of the
+*coalesced random states* optimisation (paper Sec. V-B2, Table X).
+"""
+from .splitmix import SplitMix64, seed_streams, splitmix64_next
+from .xoshiro import Xoshiro256Plus, rotl64
+from .xorshift import XorwowState, state_addresses, AOS, SOA
+
+__all__ = [
+    "SplitMix64",
+    "seed_streams",
+    "splitmix64_next",
+    "Xoshiro256Plus",
+    "rotl64",
+    "XorwowState",
+    "state_addresses",
+    "AOS",
+    "SOA",
+]

@@ -1,0 +1,170 @@
+"""cuRAND-style xorshift generator with explicit AoS / SoA state layouts.
+
+The paper's GPU kernel uses the cuRAND XORWOW generator (a member of
+Marsaglia's xorshift family). cuRAND represents every per-thread state as a
+struct of six 32-bit fields; an array of those structs is an array-of-structs
+(AoS) memory layout. Sec. V-B2 of the paper shows that this layout produces
+*uncoalesced* memory accesses — threads of a warp touch the same field of
+different structs, which are 24 bytes apart — and proposes transposing the
+state into a struct-of-arrays (SoA) layout so that a warp's accesses to one
+field land in one cache line ("coalesced random states", CRS).
+
+This module provides:
+
+* :class:`XorwowState` — the functional generator over ``n`` streams, with the
+  state stored either AoS (``(n, 6)`` uint32) or SoA (``(6, n)`` uint32).
+  Both layouts produce bit-identical outputs; only the memory addresses of the
+  state words differ.
+* :func:`state_addresses` — the byte addresses touched by a warp reading one
+  field, used by :mod:`repro.gpusim` to measure sectors-per-request with and
+  without CRS (Table X).
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from .splitmix import seed_streams
+
+__all__ = ["XorwowState", "state_addresses", "AOS", "SOA"]
+
+AOS = "aos"
+SOA = "soa"
+
+_U32 = np.uint32
+_FIELD_BYTES = 4
+_FIELDS = 6  # x, y, z, w, v, d  (five xorshift words + Weyl counter)
+
+
+class XorwowState:
+    """XORWOW generator over ``n`` parallel streams.
+
+    Parameters
+    ----------
+    seed:
+        Scalar seed, expanded through SplitMix64 (one sub-stream per thread,
+        mirroring ``curand_init(seed, tid, 0, &state)``).
+    n_streams:
+        Number of parallel streams (GPU threads).
+    layout:
+        ``"aos"`` (cuRAND default) or ``"soa"`` (coalesced random states).
+    """
+
+    def __init__(self, seed: int = 0, n_streams: int = 1, layout: str = AOS):
+        if layout not in (AOS, SOA):
+            raise ValueError(f"layout must be '{AOS}' or '{SOA}'")
+        self.layout = layout
+        words = seed_streams(seed, n_streams, 3)  # 3 x uint64 -> 6 x uint32
+        u32 = np.empty((n_streams, _FIELDS), dtype=_U32)
+        u32[:, 0] = (words[:, 0] & np.uint64(0xFFFFFFFF)).astype(_U32)
+        u32[:, 1] = (words[:, 0] >> np.uint64(32)).astype(_U32)
+        u32[:, 2] = (words[:, 1] & np.uint64(0xFFFFFFFF)).astype(_U32)
+        u32[:, 3] = (words[:, 1] >> np.uint64(32)).astype(_U32)
+        u32[:, 4] = (words[:, 2] & np.uint64(0xFFFFFFFF)).astype(_U32)
+        u32[:, 5] = (words[:, 2] >> np.uint64(32)).astype(_U32)
+        # xorshift state must not be all zero in the shift registers.
+        zero_rows = np.all(u32[:, :5] == 0, axis=1)
+        u32[zero_rows, 0] = _U32(0x1234567)
+        if layout == AOS:
+            self._state = u32
+        else:
+            self._state = np.ascontiguousarray(u32.T)
+
+    # -- layout helpers -----------------------------------------------------
+    def _get(self, field: int) -> np.ndarray:
+        if self.layout == AOS:
+            return self._state[:, field]
+        return self._state[field, :]
+
+    def _set(self, field: int, value: np.ndarray) -> None:
+        if self.layout == AOS:
+            self._state[:, field] = value
+        else:
+            self._state[field, :] = value
+
+    @property
+    def n_streams(self) -> int:
+        """Number of parallel streams."""
+        if self.layout == AOS:
+            return int(self._state.shape[0])
+        return int(self._state.shape[1])
+
+    @property
+    def state_bytes(self) -> int:
+        """Total bytes of generator state resident in memory."""
+        return int(self._state.nbytes)
+
+    def as_layout(self, layout: str) -> "XorwowState":
+        """Return a copy of this generator with the requested state layout."""
+        new = XorwowState.__new__(XorwowState)
+        new.layout = layout
+        if layout == self.layout:
+            new._state = self._state.copy()
+        elif layout == AOS:
+            new._state = np.ascontiguousarray(self._state.T)
+        elif layout == SOA:
+            new._state = np.ascontiguousarray(self._state.T)
+        else:
+            raise ValueError(f"layout must be '{AOS}' or '{SOA}'")
+        return new
+
+    # -- generation ---------------------------------------------------------
+    def next_uint32(self) -> np.ndarray:
+        """Advance all streams one XORWOW step, returning 32-bit outputs."""
+        x = self._get(0).copy()
+        y = self._get(1)
+        z = self._get(2)
+        w = self._get(3)
+        v = self._get(4)
+        d = self._get(5)
+        with np.errstate(over="ignore"):
+            t = x ^ (x >> _U32(2))
+            self._set(0, y.copy())
+            self._set(1, z.copy())
+            self._set(2, w.copy())
+            self._set(3, v.copy())
+            new_v = (v ^ (v << _U32(4))) ^ (t ^ (t << _U32(1)))
+            self._set(4, new_v)
+            new_d = d + _U32(362437)
+            self._set(5, new_d)
+            return new_v + new_d
+
+    def next_float(self) -> np.ndarray:
+        """One float in [0, 1) per stream."""
+        return self.next_uint32().astype(np.float64) * (2.0 ** -32)
+
+    def next_below(self, bound: int | np.ndarray) -> np.ndarray:
+        """One integer in [0, bound) per stream via multiply-shift reduction."""
+        bound_arr = np.asarray(bound, dtype=np.uint64)
+        if np.any(bound_arr == 0):
+            raise ValueError("bound must be positive")
+        x = self.next_uint32().astype(np.uint64)
+        with np.errstate(over="ignore"):
+            return ((x * bound_arr) >> np.uint64(32)).astype(np.int64)
+
+
+def state_addresses(
+    n_threads: int,
+    field: int,
+    layout: str = AOS,
+    base_address: int = 0,
+    n_fields: int = _FIELDS,
+    field_bytes: int = _FIELD_BYTES,
+) -> np.ndarray:
+    """Byte addresses read when ``n_threads`` threads each load one state field.
+
+    With the AoS layout, thread ``t`` reads ``base + t*(n_fields*field_bytes) +
+    field*field_bytes`` — a strided pattern spanning many 32-byte sectors per
+    warp. With the SoA layout the same loads are contiguous:
+    ``base + field*(n_threads*field_bytes) + t*field_bytes``.
+
+    :mod:`repro.gpusim.coalescing` turns these addresses into the
+    sectors-per-request metric reported in Table X.
+    """
+    if layout not in (AOS, SOA):
+        raise ValueError(f"layout must be '{AOS}' or '{SOA}'")
+    if not 0 <= field < n_fields:
+        raise ValueError("field index out of range")
+    t = np.arange(n_threads, dtype=np.int64)
+    if layout == AOS:
+        return base_address + t * (n_fields * field_bytes) + field * field_bytes
+    return base_address + field * (n_threads * field_bytes) + t * field_bytes

@@ -1,0 +1,5 @@
+"""Layout rendering: SVG export and raster comparison (odgi draw stand-in)."""
+from .svg import render_svg, save_svg
+from .raster import rasterize, layout_similarity, write_ppm
+
+__all__ = ["render_svg", "save_svg", "rasterize", "layout_similarity", "write_ppm"]

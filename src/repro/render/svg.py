@@ -1,0 +1,106 @@
+"""Layout rendering to SVG (odgi draw stand-in).
+
+The paper's qualitative evaluation (Figs. 2, 6, 12, 14) inspects rendered
+layouts: every node is a line segment between its two visualisation points,
+coloured by how many paths traverse it so variants stand out against the
+shared backbone. This module emits standalone SVG documents with no external
+dependencies, which the examples use to produce the qualitative figures.
+"""
+from __future__ import annotations
+
+import os
+from typing import Optional, Union
+
+import numpy as np
+
+from ..core.layout import Layout
+from ..graph.lean import LeanGraph
+
+__all__ = ["render_svg", "save_svg"]
+
+_PALETTE = [
+    "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e",
+    "#8c564b", "#e377c2", "#7f7f7f", "#bcbd22", "#17becf",
+]
+
+
+def _node_path_multiplicity(graph: LeanGraph) -> np.ndarray:
+    """Number of distinct paths visiting each node (for colouring)."""
+    counts = np.zeros(graph.n_nodes, dtype=np.int64)
+    offsets = graph.path_offsets
+    for p in range(graph.n_paths):
+        sl = graph.path_steps(p)
+        nodes = np.unique(graph.step_nodes[sl])
+        counts[nodes] += 1
+    return counts
+
+
+def render_svg(
+    layout: Layout,
+    graph: Optional[LeanGraph] = None,
+    width: int = 1000,
+    height: int = 600,
+    margin: int = 20,
+    stroke_width: float = 1.0,
+    color_by_multiplicity: bool = True,
+) -> str:
+    """Render a layout as an SVG string.
+
+    When ``graph`` is provided, segments are coloured by path multiplicity
+    (backbone nodes shared by all paths appear in the first palette colour,
+    private variant nodes in later colours).
+    """
+    if width <= 2 * margin or height <= 2 * margin:
+        raise ValueError("canvas too small for the requested margin")
+    coords = layout.coords
+    min_x, min_y, max_x, max_y = layout.bounding_box()
+    span_x = max(max_x - min_x, 1e-9)
+    span_y = max(max_y - min_y, 1e-9)
+    scale = min((width - 2 * margin) / span_x, (height - 2 * margin) / span_y)
+
+    def tx(x: float) -> float:
+        return margin + (x - min_x) * scale
+
+    def ty(y: float) -> float:
+        return margin + (y - min_y) * scale
+
+    if graph is not None and color_by_multiplicity:
+        multiplicity = _node_path_multiplicity(graph)
+        max_mult = max(int(multiplicity.max()), 1)
+    else:
+        multiplicity = None
+        max_mult = 1
+
+    lines = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+    n_nodes = layout.n_nodes
+    for node in range(n_nodes):
+        sx, sy = coords[2 * node]
+        ex, ey = coords[2 * node + 1]
+        if multiplicity is not None:
+            # Shared nodes -> dark blue; rarer nodes -> warmer palette colours.
+            rarity = 1.0 - (multiplicity[node] / max_mult)
+            color = _PALETTE[min(int(rarity * (len(_PALETTE) - 1)), len(_PALETTE) - 1)]
+        else:
+            color = _PALETTE[0]
+        lines.append(
+            f'<line x1="{tx(sx):.2f}" y1="{ty(sy):.2f}" x2="{tx(ex):.2f}" y2="{ty(ey):.2f}" '
+            f'stroke="{color}" stroke-width="{stroke_width}" stroke-linecap="round"/>'
+        )
+    lines.append("</svg>")
+    return "\n".join(lines)
+
+
+def save_svg(
+    layout: Layout,
+    destination: Union[str, os.PathLike],
+    graph: Optional[LeanGraph] = None,
+    **kwargs,
+) -> None:
+    """Render and write an SVG file."""
+    svg = render_svg(layout, graph=graph, **kwargs)
+    with open(destination, "w", encoding="utf-8") as handle:
+        handle.write(svg)

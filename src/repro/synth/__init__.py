@@ -1,0 +1,35 @@
+"""Synthetic pangenome generation (HPRC dataset stand-in).
+
+Provides the configurable pangenome simulator and the named, scaled datasets
+matching the paper's evaluation inputs (Table I's representative graphs and
+Table VI's 24-chromosome suite).
+"""
+from .simulator import PangenomeConfig, simulate_pangenome, simulate_sequence
+from .datasets import (
+    DatasetSpec,
+    PaperStats,
+    REPRESENTATIVE_SPECS,
+    CHROMOSOME_PAPER_RUNTIMES,
+    hla_drb1_like,
+    mhc_like,
+    chr1_like,
+    load_dataset,
+    chromosome_suite,
+    small_graph_collection,
+)
+
+__all__ = [
+    "PangenomeConfig",
+    "simulate_pangenome",
+    "simulate_sequence",
+    "DatasetSpec",
+    "PaperStats",
+    "REPRESENTATIVE_SPECS",
+    "CHROMOSOME_PAPER_RUNTIMES",
+    "hla_drb1_like",
+    "mhc_like",
+    "chr1_like",
+    "load_dataset",
+    "chromosome_suite",
+    "small_graph_collection",
+]

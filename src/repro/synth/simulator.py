@@ -1,0 +1,202 @@
+"""Synthetic pangenome simulation.
+
+The paper's evaluation uses the HPRC human pangenome graphs (24 chromosomes,
+up to 1.1e7 nodes), which are neither redistributable here nor tractable on a
+single CPU core. The simulator in this module produces variation graphs with
+the *structural properties the layout algorithm is sensitive to*:
+
+* a mostly linear backbone (genome homology) with node lengths drawn from a
+  heavy-tailed distribution so that ``#nucleotides / #nodes`` matches the
+  paper's datasets,
+* bubbles — SNV and small-indel sites where a subset of paths diverges
+  through an alternate node,
+* deletion sites where some paths skip backbone nodes,
+* structural variants — long alternate detours carried by few paths,
+* optional loops — path segments that revisit earlier nodes (the "Loop"
+  feature of Fig. 2), and
+* many paths whose step counts differ, giving the skewed path-length
+  distribution that path-weighted sampling (Alg. 1 line 5) depends on.
+
+The resulting average node degree (≈1.4) and density (≈1e-7..1e-6) match the
+ranges in Tables I and VI at the reduced scales used here.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..graph.lean import LeanGraph
+
+__all__ = ["PangenomeConfig", "simulate_pangenome", "simulate_sequence"]
+
+_BASES = np.array(list("ACGT"))
+
+
+@dataclass
+class PangenomeConfig:
+    """Parameters controlling a synthetic pangenome.
+
+    The defaults produce a small gene-scale graph; the named datasets in
+    :mod:`repro.synth.datasets` override them to hit the paper's per-dataset
+    statistics (scaled down — see DESIGN.md §4).
+    """
+
+    n_backbone_nodes: int = 1000
+    n_paths: int = 12
+    mean_node_length: float = 5.0
+    bubble_rate: float = 0.08         # fraction of backbone slots that are SNV/indel bubbles
+    deletion_rate: float = 0.02       # fraction of backbone slots deletable by carriers
+    n_structural_variants: int = 2    # long detours
+    sv_length_nodes: int = 30         # nodes per SV detour
+    sv_carrier_fraction: float = 0.25
+    loop_rate: float = 0.0            # fraction of paths that traverse one repeated segment
+    loop_span_nodes: int = 20
+    allele_frequency_alpha: float = 0.6  # Beta(alpha, beta) allele frequency at bubbles
+    allele_frequency_beta: float = 1.8
+    path_dropout: float = 0.15        # fraction of each path's ends trimmed (varying |p|)
+    seed: int = 42
+    name: str = "synthetic"
+
+    def validate(self) -> None:
+        """Check parameter sanity before simulation."""
+        if self.n_backbone_nodes < 2:
+            raise ValueError("need at least two backbone nodes")
+        if self.n_paths < 1:
+            raise ValueError("need at least one path")
+        if not 0.0 <= self.bubble_rate < 1.0:
+            raise ValueError("bubble_rate must be in [0, 1)")
+        if not 0.0 <= self.deletion_rate < 1.0:
+            raise ValueError("deletion_rate must be in [0, 1)")
+        if self.bubble_rate + self.deletion_rate >= 1.0:
+            raise ValueError("bubble_rate + deletion_rate must be < 1")
+        if self.mean_node_length <= 0:
+            raise ValueError("mean_node_length must be positive")
+        if not 0.0 <= self.path_dropout < 0.5:
+            raise ValueError("path_dropout must be in [0, 0.5)")
+        if not 0.0 <= self.loop_rate <= 1.0:
+            raise ValueError("loop_rate must be in [0, 1]")
+        if self.n_structural_variants < 0 or self.sv_length_nodes < 1:
+            raise ValueError("invalid structural-variant parameters")
+
+
+def _draw_node_lengths(rng: np.random.Generator, n: int, mean_length: float) -> np.ndarray:
+    """Heavy-tailed node lengths with the requested mean (≥1 each)."""
+    if mean_length <= 1.0:
+        return np.ones(n, dtype=np.int64)
+    # Geometric-like tail: most nodes are short (single variants), a few are
+    # long homologous runs, which is what seqwish/smoothxg produce.
+    raw = rng.pareto(2.5, size=n) + 1.0
+    lengths = np.maximum(1, np.round(raw * (mean_length / np.mean(raw)))).astype(np.int64)
+    return lengths
+
+
+def simulate_sequence(rng: np.random.Generator, length: int) -> str:
+    """Random nucleotide sequence of the given length."""
+    if length <= 0:
+        return ""
+    return "".join(_BASES[rng.integers(0, 4, size=length)])
+
+
+def simulate_pangenome(config: PangenomeConfig) -> LeanGraph:
+    """Simulate a pangenome and return its lean graph.
+
+    The simulation is fully deterministic given ``config.seed``.
+    """
+    config.validate()
+    rng = np.random.default_rng(config.seed)
+    B = config.n_backbone_nodes
+    P = config.n_paths
+
+    # ---- classify backbone slots ------------------------------------------
+    slot_kind = np.zeros(B, dtype=np.int8)  # 0 plain, 1 bubble, 2 deletable
+    u = rng.random(B)
+    slot_kind[u < config.bubble_rate] = 1
+    slot_kind[(u >= config.bubble_rate) & (u < config.bubble_rate + config.deletion_rate)] = 2
+    # First and last slots stay plain so every path shares its termini.
+    slot_kind[0] = 0
+    slot_kind[-1] = 0
+
+    backbone_ids = np.arange(B, dtype=np.int64)
+    node_lengths_list: List[np.ndarray] = [
+        _draw_node_lengths(rng, B, config.mean_node_length)
+    ]
+    next_id = B
+
+    # ---- bubble alternate nodes -------------------------------------------
+    bubble_slots = np.flatnonzero(slot_kind == 1)
+    alt_ids = np.full(B, -1, dtype=np.int64)
+    if bubble_slots.size:
+        alt_ids[bubble_slots] = np.arange(next_id, next_id + bubble_slots.size)
+        next_id += bubble_slots.size
+        # Alternate alleles are short (SNVs / small indels).
+        node_lengths_list.append(
+            np.maximum(1, rng.geometric(0.6, size=bubble_slots.size)).astype(np.int64)
+        )
+    # Allele frequency per bubble (fraction of paths taking the alternate).
+    allele_freq = rng.beta(
+        config.allele_frequency_alpha, config.allele_frequency_beta, size=B
+    )
+
+    # ---- deletion carrier frequency ---------------------------------------
+    deletion_freq = rng.beta(0.5, 2.0, size=B)
+
+    # ---- structural variants ----------------------------------------------
+    sv_records: List[Tuple[int, np.ndarray, np.ndarray]] = []  # (anchor slot, node ids, carriers)
+    for _ in range(config.n_structural_variants):
+        anchor = int(rng.integers(1, max(2, B - 2)))
+        sv_nodes = np.arange(next_id, next_id + config.sv_length_nodes, dtype=np.int64)
+        next_id += config.sv_length_nodes
+        node_lengths_list.append(
+            _draw_node_lengths(rng, config.sv_length_nodes, config.mean_node_length)
+        )
+        n_carriers = max(1, int(round(config.sv_carrier_fraction * P)))
+        carriers = rng.choice(P, size=min(n_carriers, P), replace=False)
+        sv_records.append((anchor, sv_nodes, carriers))
+
+    node_lengths = np.concatenate(node_lengths_list)
+
+    # ---- loops --------------------------------------------------------------
+    loop_paths = set()
+    if config.loop_rate > 0:
+        n_loop_paths = int(round(config.loop_rate * P))
+        if n_loop_paths:
+            loop_paths = set(rng.choice(P, size=min(n_loop_paths, P), replace=False).tolist())
+
+    # ---- assemble paths -----------------------------------------------------
+    paths: List[np.ndarray] = []
+    path_names: List[str] = []
+    for g in range(P):
+        takes_alt = rng.random(B) < allele_freq
+        takes_del = rng.random(B) < deletion_freq
+        walk = backbone_ids.copy()
+        # Bubbles: replace backbone node with the alternate node.
+        mask_alt = (slot_kind == 1) & takes_alt & (alt_ids >= 0)
+        walk = np.where(mask_alt, alt_ids, walk)
+        # Deletions: drop the backbone node entirely.
+        keep = ~((slot_kind == 2) & takes_del)
+        walk = walk[keep]
+        # Trim ends so path step counts vary (skewed |p| distribution).
+        if config.path_dropout > 0 and walk.size > 10:
+            lo = int(rng.integers(0, max(1, int(config.path_dropout * walk.size))))
+            hi = int(rng.integers(0, max(1, int(config.path_dropout * walk.size))))
+            walk = walk[lo: walk.size - hi] if walk.size - hi > lo else walk
+        # Structural variants: insert the detour after the anchor for carriers.
+        for anchor, sv_nodes, carriers in sv_records:
+            if g in carriers:
+                insert_at = int(np.searchsorted(walk, anchor))
+                walk = np.concatenate([walk[:insert_at], sv_nodes, walk[insert_at:]])
+        # Loops: repeat a span of the walk once (tandem-duplication-like).
+        if g in loop_paths and walk.size > 3 * config.loop_span_nodes:
+            start = int(rng.integers(0, walk.size - 2 * config.loop_span_nodes))
+            span = walk[start:start + config.loop_span_nodes]
+            walk = np.concatenate([walk[:start + config.loop_span_nodes], span,
+                                   walk[start + config.loop_span_nodes:]])
+        if walk.size < 2:
+            walk = backbone_ids[:2].copy()
+        paths.append(walk)
+        path_names.append(f"{config.name}#genome{g}")
+
+    graph = LeanGraph.from_paths(node_lengths, paths, path_names=path_names)
+    return graph

@@ -1,0 +1,263 @@
+"""Tests for the GPU execution-model simulator (caches, coalescing, warps, timing)."""
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gpusim import (
+    A100,
+    CacheConfig,
+    CacheHierarchy,
+    CacheSimulator,
+    DEVICES,
+    MemoryTrafficProfile,
+    RTX_A6000,
+    WorkloadCounters,
+    XEON_6246R,
+    analyze_warp_requests,
+    cpu_runtime,
+    gpu_runtime,
+    hogwild_thread_scaling,
+    memory_bound_analysis,
+    merge_branch_decisions,
+    sectors_for_request,
+    simulate_warp_execution,
+)
+
+
+class TestDevices:
+    def test_registry(self):
+        assert RTX_A6000.name in DEVICES and A100.name in DEVICES
+        assert XEON_6246R.kind == "cpu"
+
+    def test_a100_has_more_bandwidth(self):
+        assert A100.dram_bandwidth_gbs > RTX_A6000.dram_bandwidth_gbs
+
+    def test_derived_quantities(self):
+        assert RTX_A6000.concurrent_threads == 84 * 32 * 48
+        assert RTX_A6000.peak_gflops > 0
+
+
+class TestCoalescing:
+    def test_contiguous_floats_four_sectors(self):
+        addrs = np.arange(32) * 4
+        assert sectors_for_request(addrs, access_bytes=4, sector_bytes=32) == 4
+
+    def test_strided_accesses_many_sectors(self):
+        addrs = np.arange(32) * 128
+        assert sectors_for_request(addrs, access_bytes=4, sector_bytes=32) == 32
+
+    def test_straddling_access(self):
+        # One 8-byte access crossing a sector boundary touches two sectors.
+        assert sectors_for_request(np.array([28]), access_bytes=8, sector_bytes=32) == 2
+
+    def test_empty_request(self):
+        assert sectors_for_request(np.array([], dtype=np.int64)) == 0
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            sectors_for_request(np.array([0]), access_bytes=0)
+
+    def test_analyze_warp_requests(self):
+        report = analyze_warp_requests([np.arange(32) * 4, np.arange(32) * 128])
+        assert report.n_requests == 2
+        assert report.total_sectors == 36
+        assert report.sectors_per_request == pytest.approx(18.0)
+        assert report.bytes_transferred == 36 * 32
+
+
+class TestCacheSimulator:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            CacheConfig("bad", size_bytes=1000, line_bytes=64, associativity=8)
+        with pytest.raises(ValueError):
+            CacheConfig("bad", size_bytes=0)
+
+    def test_cold_miss_then_hit(self):
+        cache = CacheSimulator(CacheConfig("L1", 4096, 64, 4))
+        assert cache.access(0) is False
+        assert cache.access(8) is True  # same line
+        assert cache.stats.accesses == 2
+        assert cache.stats.hits == 1
+
+    def test_lru_eviction(self):
+        # 1 set x 2 ways of 64-byte lines.
+        cache = CacheSimulator(CacheConfig("L1", 128, 64, 2))
+        assert cache.access(0) is False    # line A: cold miss
+        assert cache.access(128) is False  # line B: cold miss (same set)
+        assert cache.access(0) is True     # A still resident, now MRU
+        assert cache.access(256) is False  # line C evicts the LRU line (B)
+        assert cache.access(0) is True     # A survived the eviction
+        assert cache.access(128) is False  # B was the one evicted
+
+    def test_working_set_fits(self):
+        cache = CacheSimulator(CacheConfig("L1", 64 * 1024, 64, 8))
+        addrs = np.tile(np.arange(0, 32 * 1024, 64), 3)
+        cache.access_trace(addrs)
+        assert cache.stats.miss_rate < 0.4  # only cold misses
+
+    def test_random_large_working_set_misses(self, rng):
+        cache = CacheSimulator(CacheConfig("LLC", 64 * 1024, 64, 8))
+        addrs = rng.integers(0, 512 * 1024 * 1024, size=4000)
+        cache.access_trace(addrs)
+        assert cache.stats.miss_rate > 0.9
+
+    def test_reset(self):
+        cache = CacheSimulator(CacheConfig("L1", 4096, 64, 4))
+        cache.access(0)
+        cache.reset()
+        assert cache.stats.accesses == 0
+        assert cache.access(0) is False
+
+
+class TestCacheHierarchy:
+    def _hierarchy(self):
+        return CacheHierarchy([
+            CacheConfig("L1", 4 * 1024, 64, 4),
+            CacheConfig("L2", 64 * 1024, 64, 8),
+        ])
+
+    def test_miss_propagates(self):
+        h = self._hierarchy()
+        assert h.access(0) == "DRAM"
+        assert h.access(0) == "L1"
+        assert h.dram_accesses == 1
+
+    def test_l2_catches_l1_evictions(self, rng):
+        h = self._hierarchy()
+        # Working set bigger than L1 but smaller than L2.
+        addrs = np.tile(np.arange(0, 32 * 1024, 64), 4)
+        h.access_trace(addrs)
+        stats = h.stats_by_level()
+        assert stats["L2"].accesses == stats["L1"].misses
+        assert h.dram_accesses <= stats["L2"].accesses
+
+    def test_summary_keys(self):
+        h = self._hierarchy()
+        h.access(0)
+        summary = h.summary()
+        assert "L1_miss_rate" in summary and "dram_bytes" in summary
+
+    def test_requires_levels(self):
+        with pytest.raises(ValueError):
+            CacheHierarchy([])
+
+
+class TestWarpModel:
+    def test_merge_branch_decisions(self):
+        cooling = np.array([True, False] * 32)
+        merged = merge_branch_decisions(cooling, warp_size=32)
+        assert np.all(merged[:32] == cooling[0])
+        assert np.all(merged[32:] == cooling[32])
+
+    def test_divergent_warp_lower_active_threads(self, rng):
+        cooling = rng.random(32 * 64) < 0.5
+        diverged = simulate_warp_execution(cooling, warp_merging=False)
+        merged = simulate_warp_execution(cooling, warp_merging=True)
+        assert merged.avg_active_threads > diverged.avg_active_threads
+        assert merged.executed_instructions < diverged.executed_instructions
+        assert diverged.avg_active_threads < 32
+        assert merged.avg_active_threads == pytest.approx(32.0)
+
+    def test_uniform_warp_no_divergence(self):
+        cooling = np.ones(64, dtype=bool)
+        stats = simulate_warp_execution(cooling)
+        assert stats.avg_active_threads == pytest.approx(32.0)
+        assert stats.divergence_overhead == pytest.approx(1.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            simulate_warp_execution(np.zeros((2, 2), dtype=bool))
+        with pytest.raises(ValueError):
+            simulate_warp_execution(np.zeros(4, dtype=bool), warp_size=0)
+
+
+class TestTopDown:
+    def test_memory_bound_dominates_for_high_miss_rates(self):
+        traffic = MemoryTrafficProfile(l1_bytes=1e9, l2_bytes=8e8, dram_bytes=6e8,
+                                       llc_loads=1e7, llc_load_misses=8.5e6)
+        profile = memory_bound_analysis(XEON_6246R, traffic, WorkloadCounters(), n_terms=1e6)
+        d = profile.as_dict()
+        assert d["memory_bound"] == max(d.values())
+        assert d["memory_bound"] > 0.5
+        assert sum(d.values()) == pytest.approx(1.0)
+
+    def test_requires_positive_terms(self):
+        with pytest.raises(ValueError):
+            memory_bound_analysis(XEON_6246R, MemoryTrafficProfile(), WorkloadCounters(), 0)
+
+
+class TestTiming:
+    def _traffic(self, miss_rate=0.8, n_terms=1e6):
+        loads = n_terms * 6
+        return MemoryTrafficProfile(
+            l1_bytes=n_terms * 200,
+            l2_bytes=n_terms * 120,
+            dram_bytes=n_terms * 80,
+            llc_loads=loads,
+            llc_load_misses=loads * miss_rate,
+            sectors_per_request=20.0,
+        )
+
+    def test_cpu_runtime_scales_with_terms(self):
+        t1 = cpu_runtime(XEON_6246R, 1e6, self._traffic(n_terms=1e6), n_threads=32)
+        t2 = cpu_runtime(XEON_6246R, 1e7, self._traffic(n_terms=1e7), n_threads=32)
+        assert t2.total_s > 5 * t1.total_s
+
+    def test_cpu_more_threads_faster(self):
+        traffic = self._traffic()
+        t1 = cpu_runtime(XEON_6246R, 1e6, traffic, n_threads=1)
+        t32 = cpu_runtime(XEON_6246R, 1e6, traffic, n_threads=32)
+        assert t1.total_s > 5 * t32.total_s
+
+    def test_higher_miss_rate_slower(self):
+        fast = cpu_runtime(XEON_6246R, 1e6, self._traffic(miss_rate=0.2), n_threads=32)
+        slow = cpu_runtime(XEON_6246R, 1e6, self._traffic(miss_rate=0.95), n_threads=32)
+        assert slow.total_s > fast.total_s
+
+    def test_gpu_faster_than_cpu(self):
+        traffic = self._traffic()
+        cpu = cpu_runtime(XEON_6246R, 1e7, self._traffic(n_terms=1e7), n_threads=32)
+        gpu = gpu_runtime(RTX_A6000, 1e7, self._traffic(n_terms=1e7), kernel_launches=31)
+        assert cpu.total_s > gpu.total_s
+        # speedup_over(other) = other/self, i.e. the GPU's speedup over the CPU.
+        assert gpu.speedup_over(cpu) > 5.0
+
+    def test_a100_faster_than_a6000(self):
+        traffic = self._traffic(n_terms=1e7)
+        a6000 = gpu_runtime(RTX_A6000, 1e7, traffic)
+        a100 = gpu_runtime(A100, 1e7, traffic)
+        assert a100.total_s < a6000.total_s
+
+    def test_better_coalescing_faster(self):
+        traffic = self._traffic(n_terms=1e7)
+        bad = gpu_runtime(RTX_A6000, 1e7, traffic, sectors_per_request=27.0)
+        good = gpu_runtime(RTX_A6000, 1e7, traffic, sectors_per_request=10.0)
+        assert good.total_s < bad.total_s
+
+    def test_less_divergence_faster_when_compute_bound(self):
+        traffic = MemoryTrafficProfile(l1_bytes=1e6, l2_bytes=1e5, dram_bytes=1e4,
+                                       llc_loads=1e4, llc_load_misses=1e3)
+        diverged = gpu_runtime(RTX_A6000, 1e9, traffic, avg_active_threads=20.0)
+        merged = gpu_runtime(RTX_A6000, 1e9, traffic, avg_active_threads=32.0)
+        assert merged.total_s <= diverged.total_s
+
+    def test_kernel_launch_overhead_counts(self):
+        traffic = self._traffic(n_terms=1e4)
+        few = gpu_runtime(RTX_A6000, 1e4, traffic, kernel_launches=31)
+        many = gpu_runtime(RTX_A6000, 1e4, traffic, kernel_launches=600_000)
+        assert many.total_s > few.total_s
+        assert many.overhead_s > few.overhead_s
+
+    def test_thread_scaling_monotone(self):
+        base = cpu_runtime(XEON_6246R, 1e6, self._traffic(), n_threads=32)
+        times = hogwild_thread_scaling(base, np.array([1, 2, 4, 8, 16, 32]), 32)
+        values = [times[t] for t in (1, 2, 4, 8, 16, 32)]
+        assert all(a > b for a, b in zip(values[:-1], values[1:]))
+        # Near-linear at low thread counts (Fig. 4).
+        assert times[1] / times[2] > 1.7
+
+    def test_thread_scaling_invalid(self):
+        base = cpu_runtime(XEON_6246R, 1e6, self._traffic(), n_threads=32)
+        with pytest.raises(ValueError):
+            hogwild_thread_scaling(base, np.array([0]), 32)

@@ -1,0 +1,275 @@
+"""Tests for the variation-graph model, GFA I/O and the graph builder."""
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    GFAError,
+    LeanGraph,
+    VariationGraph,
+    build_from_variants,
+    compute_stats,
+    deletion,
+    figure1_example,
+    gfa_to_text,
+    insertion,
+    parse_gfa_text,
+    snv,
+    validate_graph,
+    validate_lean,
+    write_gfa,
+)
+
+
+class TestVariationGraph:
+    def test_add_and_query_nodes(self):
+        g = VariationGraph()
+        g.add_node(0, "ACGT")
+        g.add_node(1, "T")
+        assert g.node_count == 2
+        assert g.node_length(0) == 4
+        assert g.has_node(1)
+        assert not g.has_node(5)
+
+    def test_duplicate_node_rejected(self):
+        g = VariationGraph()
+        g.add_node(0, "A")
+        with pytest.raises(ValueError):
+            g.add_node(0, "C")
+
+    def test_negative_node_id_rejected(self):
+        g = VariationGraph()
+        with pytest.raises(ValueError):
+            g.add_node(-1, "A")
+
+    def test_edges_require_existing_nodes(self):
+        g = VariationGraph()
+        g.add_node(0, "A")
+        with pytest.raises(KeyError):
+            g.add_edge(0, 1)
+
+    def test_edge_idempotent(self):
+        g = VariationGraph()
+        g.add_node(0, "A")
+        g.add_node(1, "C")
+        g.add_edge(0, 1)
+        g.add_edge(0, 1)
+        assert g.edge_count == 1
+
+    def test_degree_and_neighbors(self):
+        g = figure1_example()
+        lengths = [g.degree(n.node_id) for n in g.nodes()]
+        assert max(lengths) >= 2
+        assert 2 in g.neighbors(0) or 1 in g.neighbors(0)
+
+    def test_paths_and_lengths(self):
+        g = figure1_example()
+        assert g.path_count == 3
+        p2 = g.get_path("path2")
+        assert len(p2) == 7
+        # path2 spells AA T GC C CA AA C = 2+1+2+1+2+2+1 = 11 nucleotides
+        assert g.path_length_nucleotides("path2") == 11
+
+    def test_duplicate_path_rejected(self):
+        g = VariationGraph()
+        g.add_node(0, "A")
+        g.add_path("p", [(0, False)])
+        with pytest.raises(ValueError):
+            g.add_path("p", [(0, False)])
+
+    def test_path_step_missing_node(self):
+        g = VariationGraph()
+        g.add_node(0, "A")
+        with pytest.raises(KeyError):
+            g.add_path("p", [(3, False)])
+
+    def test_remove_node_blocked_by_path(self):
+        g = figure1_example()
+        with pytest.raises(ValueError):
+            g.remove_node(0)
+
+    def test_remove_isolated_node(self):
+        g = VariationGraph()
+        g.add_node(0, "A")
+        g.add_node(1, "C")
+        g.add_edge(0, 1)
+        g.remove_node(1)
+        assert g.node_count == 1
+        assert g.edge_count == 0
+
+    def test_totals(self):
+        g = figure1_example()
+        assert g.total_sequence_length() == sum(n.length for n in g.nodes())
+        assert g.total_path_steps() == 6 + 5 + 7
+
+
+class TestGFA:
+    GFA_TEXT = "\n".join([
+        "H\tVN:Z:1.0",
+        "S\ts1\tAA",
+        "S\ts2\tT",
+        "S\ts3\tGC",
+        "L\ts1\t+\ts2\t+\t0M",
+        "L\ts2\t+\ts3\t+\t0M",
+        "L\ts1\t+\ts3\t+\t0M",
+        "P\tpathA\ts1+,s2+,s3+\t*",
+        "P\tpathB\ts1+,s3+\t*",
+    ]) + "\n"
+
+    def test_parse_basic(self):
+        g = parse_gfa_text(self.GFA_TEXT)
+        assert g.node_count == 3
+        assert g.edge_count == 3
+        assert g.path_count == 2
+        assert g.path_length_nucleotides("pathA") == 5
+
+    def test_round_trip(self):
+        g = parse_gfa_text(self.GFA_TEXT)
+        text = gfa_to_text(g)
+        g2 = parse_gfa_text(text)
+        assert g2.node_count == g.node_count
+        assert g2.edge_count == g.edge_count
+        assert g2.path_count == g.path_count
+        assert g2.path_length_nucleotides("pathA") == 5
+
+    def test_round_trip_without_sequence(self):
+        g = parse_gfa_text(self.GFA_TEXT)
+        text = gfa_to_text(g, store_sequence=False)
+        g2 = parse_gfa_text(text)
+        assert g2.node_length(0) == 2  # preserved via LN tag
+
+    def test_star_sequence_requires_ln(self):
+        with pytest.raises(GFAError):
+            parse_gfa_text("S\tx\t*\n")
+
+    def test_star_sequence_with_ln(self):
+        g = parse_gfa_text("S\tx\t*\tLN:i:7\n")
+        assert g.node_length(0) == 7
+
+    def test_duplicate_segment_rejected(self):
+        with pytest.raises(GFAError):
+            parse_gfa_text("S\ta\tA\nS\ta\tC\n")
+
+    def test_link_to_unknown_segment(self):
+        with pytest.raises(GFAError):
+            parse_gfa_text("S\ta\tA\nL\ta\t+\tzz\t+\t0M\n")
+
+    def test_path_with_unknown_segment(self):
+        with pytest.raises(GFAError):
+            parse_gfa_text("S\ta\tA\nP\tp\ta+,b+\t*\n")
+
+    def test_bad_orientation(self):
+        with pytest.raises(GFAError):
+            parse_gfa_text("S\ta\tA\nS\tb\tC\nL\ta\t?\tb\t+\t0M\n")
+
+    def test_unknown_record_type(self):
+        with pytest.raises(GFAError):
+            parse_gfa_text("Z\tnope\n")
+
+    def test_reverse_orientation_steps(self):
+        text = "S\ta\tAC\nS\tb\tGG\nL\ta\t+\tb\t-\t0M\nP\tp\ta+,b-\t*\n"
+        g = parse_gfa_text(text)
+        lean = LeanGraph.from_variation_graph(g)
+        assert lean.step_reverse.tolist() == [False, True]
+
+    def test_write_to_handle(self):
+        g = parse_gfa_text(self.GFA_TEXT)
+        buf = io.StringIO()
+        write_gfa(g, buf)
+        assert "P\tpathA" in buf.getvalue()
+
+    def test_parse_from_handle(self):
+        g = parse_gfa_text(self.GFA_TEXT)
+        assert g.segment_names[0] == "s1"
+
+
+class TestBuilder:
+    def test_figure1_structure(self):
+        g = figure1_example()
+        assert g.node_count == 8
+        lean = LeanGraph.from_variation_graph(g)
+        # path1 skips the deleted node (v6) relative to path0.
+        assert lean.path_step_counts.tolist() == [6, 5, 7]
+
+    def test_build_from_variants_snv(self):
+        ref = "ACGTACGTACGT"
+        g = build_from_variants(ref, [snv(4, "T", carriers=[1])], n_genomes=2,
+                                segment_length=4)
+        lean = LeanGraph.from_variation_graph(g)
+        # Both genomes traverse the same number of steps; one uses the alt node.
+        assert lean.n_paths == 2
+        g0 = lean.step_nodes[lean.path_steps(0)]
+        g1 = lean.step_nodes[lean.path_steps(1)]
+        assert not np.array_equal(g0, g1)
+        assert g.path_length_nucleotides("genome0") == len(ref)
+        assert g.path_length_nucleotides("genome1") == len(ref)
+
+    def test_build_from_variants_deletion(self):
+        ref = "A" * 40
+        g = build_from_variants(ref, [deletion(8, 8, carriers=[0])], n_genomes=2,
+                                segment_length=8)
+        assert g.path_length_nucleotides("genome0") == 32
+        assert g.path_length_nucleotides("genome1") == 40
+
+    def test_build_from_variants_insertion(self):
+        ref = "C" * 20
+        g = build_from_variants(ref, [insertion(10, "TTTT", carriers=[1])], n_genomes=2,
+                                segment_length=5)
+        assert g.path_length_nucleotides("genome0") == 20
+        assert g.path_length_nucleotides("genome1") == 24
+
+    def test_variant_out_of_range(self):
+        with pytest.raises(ValueError):
+            build_from_variants("ACGT", [snv(10, "A", [0])], n_genomes=1)
+
+    def test_variant_validation(self):
+        with pytest.raises(ValueError):
+            snv(0, "AC", [0])
+        with pytest.raises(ValueError):
+            deletion(0, 0, [0])
+        with pytest.raises(ValueError):
+            insertion(0, "", [0])
+
+
+class TestValidation:
+    def test_figure1_valid(self, fig1_graph):
+        report = validate_graph(fig1_graph)
+        assert report.ok
+
+    def test_lean_valid(self, tiny_graph):
+        assert validate_lean(tiny_graph).ok
+
+    def test_orphan_node_warning(self):
+        lean = LeanGraph.from_paths([2, 3, 4], [[0, 1]])
+        report = validate_lean(lean)
+        assert report.ok
+        assert any("not visited" in w for w in report.warnings)
+
+    def test_inconsistent_positions_detected(self, tiny_graph):
+        broken = LeanGraph(
+            node_lengths=tiny_graph.node_lengths,
+            path_offsets=tiny_graph.path_offsets,
+            step_nodes=tiny_graph.step_nodes,
+            step_reverse=tiny_graph.step_reverse,
+            step_positions=tiny_graph.step_positions + 1,
+            path_names=list(tiny_graph.path_names),
+        )
+        report = validate_lean(broken)
+        assert not report.ok
+
+    def test_raise_if_invalid(self, tiny_graph):
+        report = validate_lean(tiny_graph)
+        report.raise_if_invalid()  # should not raise
+        report.errors.append("boom")
+        with pytest.raises(ValueError):
+            report.raise_if_invalid()
+
+    def test_stats_on_fig1(self, fig1_graph):
+        st = compute_stats(fig1_graph, name="fig1")
+        assert st.n_nodes == 8
+        assert st.n_paths == 3
+        assert st.n_edges == fig1_graph.edge_count
+        assert st.avg_degree > 0

@@ -1,0 +1,168 @@
+"""Tests for the lean graph structure, path index and graph statistics."""
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    LeanGraph,
+    PathIndex,
+    aggregate_stats,
+    compute_stats,
+    estimate_edge_count,
+    figure1_example,
+)
+
+
+class TestLeanGraph:
+    def test_from_variation_graph_positions(self, fig1_lean):
+        # path0 = [v0,v2,v4,v5,v6,v7] with lengths 2,2,1,2,2,1
+        sl = fig1_lean.path_steps(0)
+        assert fig1_lean.step_positions[sl].tolist() == [0, 2, 4, 5, 7, 9]
+
+    def test_counts(self, fig1_lean):
+        assert fig1_lean.n_nodes == 8
+        assert fig1_lean.n_paths == 3
+        assert fig1_lean.total_steps == 18
+        assert fig1_lean.path_step_counts.tolist() == [6, 5, 7]
+
+    def test_from_paths_positions(self, tiny_graph):
+        sl = tiny_graph.path_steps(0)
+        # node lengths 3,1,2,5,4 -> positions 0,3,4,6,11
+        assert tiny_graph.step_positions[sl].tolist() == [0, 3, 4, 6, 11]
+        sl1 = tiny_graph.path_steps(1)
+        assert tiny_graph.step_positions[sl1].tolist() == [0, 3, 5]
+
+    def test_path_nucleotide_length(self, tiny_graph):
+        assert tiny_graph.path_nucleotide_length(0) == 15
+        assert tiny_graph.path_nucleotide_length(1) == 9
+
+    def test_invalid_offsets_rejected(self):
+        with pytest.raises(ValueError):
+            LeanGraph(
+                node_lengths=[1, 1],
+                path_offsets=[1, 2],
+                step_nodes=[0, 1],
+                step_reverse=[False, False],
+                step_positions=[0, 1],
+            )
+
+    def test_step_node_out_of_range(self):
+        with pytest.raises(ValueError):
+            LeanGraph.from_paths([1, 2], [[0, 5]])
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            LeanGraph.from_paths([1, -2], [[0, 1]])
+
+    def test_path_names_default(self):
+        g = LeanGraph.from_paths([1, 1], [[0, 1], [1, 0]])
+        assert g.path_names == ["path0", "path1"]
+
+    def test_path_names_mismatch(self):
+        with pytest.raises(ValueError):
+            LeanGraph.from_paths([1, 1], [[0, 1]], path_names=["a", "b"])
+
+    def test_orientations(self):
+        g = LeanGraph.from_paths([1, 1], [[0, 1]], orientations=[[True, False]])
+        assert g.step_reverse.tolist() == [True, False]
+
+    def test_subset_paths(self, fig1_lean):
+        sub = fig1_lean.subset_paths([0, 2])
+        assert sub.n_paths == 2
+        assert sub.path_names == ["path0", "path2"]
+        assert sub.total_steps == 6 + 7
+        assert sub.n_nodes == fig1_lean.n_nodes
+
+    def test_structure_bytes(self, fig1_lean):
+        assert fig1_lean.lean_structure_bytes() < fig1_lean.heavy_structure_bytes()
+
+    def test_path_steps_out_of_range(self, fig1_lean):
+        with pytest.raises(IndexError):
+            fig1_lean.path_steps(99)
+
+    def test_total_sequence_length(self, tiny_graph):
+        assert tiny_graph.total_sequence_length == 15
+
+
+class TestPathIndex:
+    def test_reference_distance_local(self, tiny_graph):
+        idx = PathIndex(tiny_graph)
+        # path alpha positions 0,3,4,6,11
+        assert idx.reference_distance(0, np.array([0]), np.array([3]))[0] == 6
+        assert idx.reference_distance(0, np.array([4]), np.array([1]))[0] == 8
+
+    def test_reference_distance_out_of_range(self, tiny_graph):
+        idx = PathIndex(tiny_graph)
+        with pytest.raises(IndexError):
+            idx.reference_distance(0, np.array([0]), np.array([9]))
+
+    def test_reference_distance_global(self, tiny_graph):
+        idx = PathIndex(tiny_graph)
+        d = idx.reference_distance_global(np.array([0]), np.array([2]))
+        assert d[0] == 4
+
+    def test_path_of_global_step(self, tiny_graph):
+        idx = PathIndex(tiny_graph)
+        paths = idx.path_of_global_step(np.array([0, 4, 5, 7]))
+        assert paths.tolist() == [0, 0, 1, 1]
+
+    def test_path_weights_proportional_to_steps(self, fig1_lean):
+        idx = PathIndex(fig1_lean)
+        w = idx.path_weights
+        assert w.shape == (3,)
+        assert np.isclose(w.sum(), 1.0)
+        assert np.argmax(w) == 2  # path2 has the most steps
+
+    def test_sample_paths_distribution(self, fig1_lean, rng):
+        idx = PathIndex(fig1_lean)
+        draws = rng.random(20000)
+        picks = idx.sample_paths(draws)
+        frac2 = (picks == 2).mean()
+        assert abs(frac2 - 7 / 18) < 0.03
+
+    def test_sample_paths_bounds(self, fig1_lean):
+        idx = PathIndex(fig1_lean)
+        picks = idx.sample_paths(np.array([0.0, 0.999999]))
+        assert picks.min() >= 0 and picks.max() < fig1_lean.n_paths
+
+    def test_steps_on_node(self, fig1_lean):
+        idx = PathIndex(fig1_lean)
+        visits = idx.steps_on_node(0)
+        assert len(visits) == 3  # node 0 shared by all three paths
+        assert idx.paths_through_node(1) == [2]  # the T insertion is private to path2
+
+    def test_memory_bytes_positive(self, fig1_lean):
+        assert PathIndex(fig1_lean).memory_bytes() > 0
+
+
+class TestStats:
+    def test_estimate_edge_count_matches_graph(self, fig1_lean):
+        g = figure1_example()
+        # Path-adjacency pairs are exactly the edges built by the builder.
+        assert estimate_edge_count(fig1_lean) == g.edge_count
+
+    def test_compute_stats_lean(self, small_synthetic):
+        st = compute_stats(small_synthetic, name="syn")
+        assert st.n_nodes == small_synthetic.n_nodes
+        assert st.n_paths == small_synthetic.n_paths
+        assert 0 < st.density < 1
+        assert st.avg_degree > 1.0
+
+    def test_aggregate_stats(self, small_synthetic, medium_synthetic):
+        rows = [compute_stats(small_synthetic, "a"), compute_stats(medium_synthetic, "b")]
+        agg = aggregate_stats(rows)
+        assert set(agg) == {"min", "max", "mean"}
+        assert agg["min"]["n_nodes"] <= agg["max"]["n_nodes"]
+        assert agg["mean"]["n_nodes"] == pytest.approx(
+            (rows[0].n_nodes + rows[1].n_nodes) / 2
+        )
+
+    def test_aggregate_requires_rows(self):
+        with pytest.raises(ValueError):
+            aggregate_stats([])
+
+    def test_stats_as_dict(self, fig1_lean):
+        d = compute_stats(fig1_lean, "fig1").as_dict()
+        assert d["name"] == "fig1"
+        assert d["n_nodes"] == 8

@@ -1,0 +1,142 @@
+"""Tests for the synthetic pangenome simulator and named datasets."""
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import compute_stats, validate_lean
+from repro.synth import (
+    CHROMOSOME_PAPER_RUNTIMES,
+    PangenomeConfig,
+    REPRESENTATIVE_SPECS,
+    chr1_like,
+    chromosome_suite,
+    hla_drb1_like,
+    load_dataset,
+    mhc_like,
+    simulate_pangenome,
+    simulate_sequence,
+    small_graph_collection,
+)
+
+
+class TestSimulator:
+    def test_determinism(self):
+        cfg = PangenomeConfig(n_backbone_nodes=200, n_paths=5, seed=3)
+        a = simulate_pangenome(cfg)
+        b = simulate_pangenome(cfg)
+        assert np.array_equal(a.step_nodes, b.step_nodes)
+        assert np.array_equal(a.node_lengths, b.node_lengths)
+
+    def test_different_seeds_differ(self):
+        a = simulate_pangenome(PangenomeConfig(n_backbone_nodes=200, n_paths=5, seed=1))
+        b = simulate_pangenome(PangenomeConfig(n_backbone_nodes=200, n_paths=5, seed=2))
+        assert not np.array_equal(a.step_nodes, b.step_nodes)
+
+    def test_output_is_valid(self, small_synthetic):
+        assert validate_lean(small_synthetic).ok
+
+    def test_path_count(self, small_synthetic):
+        assert small_synthetic.n_paths == 8
+
+    def test_node_count_exceeds_backbone(self, small_synthetic):
+        # Bubbles and SVs add nodes beyond the backbone.
+        assert small_synthetic.n_nodes > 300
+
+    def test_mean_node_length_close_to_config(self):
+        cfg = PangenomeConfig(n_backbone_nodes=2000, n_paths=4, mean_node_length=20.0,
+                              bubble_rate=0.0, deletion_rate=0.0,
+                              n_structural_variants=0, seed=5)
+        g = simulate_pangenome(cfg)
+        assert 14.0 < g.node_lengths.mean() < 26.0
+
+    def test_degree_and_density_ranges(self, medium_synthetic):
+        st = compute_stats(medium_synthetic)
+        assert 1.0 < st.avg_degree < 3.0        # paper reports ~1.4
+        assert st.density < 1e-2                 # sparse
+
+    def test_loops_create_repeated_nodes(self):
+        cfg = PangenomeConfig(n_backbone_nodes=400, n_paths=6, loop_rate=1.0,
+                              loop_span_nodes=15, path_dropout=0.0, seed=9)
+        g = simulate_pangenome(cfg)
+        repeated = False
+        for p in range(g.n_paths):
+            nodes = g.step_nodes[g.path_steps(p)]
+            if np.unique(nodes).size < nodes.size:
+                repeated = True
+                break
+        assert repeated
+
+    def test_structural_variant_carriers_longer(self):
+        cfg = PangenomeConfig(n_backbone_nodes=500, n_paths=8, n_structural_variants=1,
+                              sv_length_nodes=60, sv_carrier_fraction=0.25,
+                              bubble_rate=0.0, deletion_rate=0.0, path_dropout=0.0,
+                              loop_rate=0.0, seed=11)
+        g = simulate_pangenome(cfg)
+        counts = g.path_step_counts
+        assert counts.max() - counts.min() >= 60
+
+    def test_invalid_configs(self):
+        with pytest.raises(ValueError):
+            PangenomeConfig(n_backbone_nodes=1).validate()
+        with pytest.raises(ValueError):
+            PangenomeConfig(bubble_rate=0.7, deletion_rate=0.5).validate()
+        with pytest.raises(ValueError):
+            PangenomeConfig(path_dropout=0.6).validate()
+        with pytest.raises(ValueError):
+            PangenomeConfig(mean_node_length=0).validate()
+
+    def test_simulate_sequence(self, rng):
+        seq = simulate_sequence(rng, 50)
+        assert len(seq) == 50
+        assert set(seq) <= set("ACGT")
+        assert simulate_sequence(rng, 0) == ""
+
+
+class TestDatasets:
+    def test_representative_specs_present(self):
+        assert set(REPRESENTATIVE_SPECS) == {"HLA-DRB1", "MHC", "Chr.1"}
+
+    def test_hla_scaled(self):
+        g = hla_drb1_like(scale=0.05)
+        assert g.n_nodes > 100
+        assert g.n_paths >= 2
+
+    def test_mhc_and_chr1_scaled(self):
+        m = mhc_like(scale=0.02)
+        c = chr1_like(scale=0.02)
+        assert c.total_steps > 0 and m.total_steps > 0
+        # Chr.1-like has more nucleotides per node than HLA-like.
+        assert c.node_lengths.mean() > hla_drb1_like(scale=0.05).node_lengths.mean()
+
+    def test_load_dataset_unknown(self):
+        with pytest.raises(KeyError):
+            load_dataset("Chr.99")
+
+    def test_load_dataset_seed_override(self):
+        a = load_dataset("HLA-DRB1", scale=0.05, seed=1)
+        b = load_dataset("HLA-DRB1", scale=0.05, seed=2)
+        assert not np.array_equal(a.step_nodes, b.step_nodes)
+
+    def test_chromosome_suite_quick(self):
+        suite = chromosome_suite(scale=1.0, quick=True)
+        assert len(suite) == 24
+        assert set(suite) == set(CHROMOSOME_PAPER_RUNTIMES)
+        sizes = {name: g.total_steps for name, g in suite.items()}
+        # Chr.Y is among the very smallest and Chr.1 the largest, as in the paper.
+        assert sizes["Chr.Y"] <= sorted(sizes.values())[2]
+        assert sizes["Chr.1"] == max(sizes.values())
+        assert sizes["Chr.1"] > sizes["Chr.Y"] * 5
+
+    def test_paper_runtimes_table_complete(self):
+        assert len(CHROMOSOME_PAPER_RUNTIMES) == 24
+        for row in CHROMOSOME_PAPER_RUNTIMES.values():
+            assert set(row) == {"cpu", "a6000", "a100"}
+            assert row["cpu"] > 0
+
+    def test_small_graph_collection(self):
+        graphs = small_graph_collection(n_graphs=5, seed=2)
+        assert len(graphs) == 5
+        assert all(validate_lean(g).ok for g in graphs)
+        with pytest.raises(ValueError):
+            small_graph_collection(n_graphs=1)
