@@ -1,46 +1,27 @@
-"""Fig. 4 — thread scaling of the odgi-layout CPU baseline.
+"""Pytest shim for the fig04_cpu_scaling benchmark case.
 
-Models the 1→32 thread run times of the three representative graphs from the
-measured cache profile of the actual workload (see DESIGN.md: only one
-physical core is available, so the scaling curve comes from the calibrated
-latency/bandwidth model) and benchmarks the counter-collection pass.
+The case body lives in :mod:`repro.bench.cases.fig04_cpu_scaling`. Run it directly
+with ``python benchmarks/bench_fig04_cpu_scaling.py``, through ``pytest
+benchmarks/bench_fig04_cpu_scaling.py``, or as part of ``repro bench run``.
 """
 from __future__ import annotations
 
 import pytest
 
-from repro.bench import format_table
-from repro.parallel import cpu_thread_scaling
+from repro.bench.cases.fig04_cpu_scaling import run as case_run
 
-THREADS = [1, 2, 4, 8, 16, 32]
+_CASE = case_run.case
 
 
-@pytest.mark.paper_table("Fig. 4")
-def test_fig04_cpu_thread_scaling(benchmark, representative_graphs, bench_params):
-    def profile_all():
-        return {
-            name: cpu_thread_scaling(graph, name, bench_params,
-                                     thread_counts=THREADS, n_trace_terms=1024)
-            for name, graph in representative_graphs.items()
-        }
+@pytest.mark.paper_table(_CASE.source)
+def test_fig04_cpu_scaling(bench_ctx):
+    result = _CASE.run(bench_ctx)
+    for table in result.tables:
+        print()
+        print(table)
 
-    results = benchmark.pedantic(profile_all, rounds=3, iterations=1)
 
-    rows = []
-    for name, res in results.items():
-        speedups = res.speedup()
-        rows.append([name] + [f"{res.times_s[t]:.3g}s" for t in THREADS]
-                    + [f"{speedups[32]:.1f}x"])
-        # Fig. 4: near-linear scaling with threads on every graph.
-        assert speedups[2] > 1.6
-        assert speedups[8] > 5.0
-        assert speedups[32] > 12.0
-        # Larger graphs take longer at every thread count.
-    assert results["Chr.1"].times_s[32] > results["HLA-DRB1"].times_s[32]
+if __name__ == "__main__":
+    from repro.bench.runner import run_case
 
-    print()
-    print(format_table(
-        ["Pangenome"] + [f"{t} thr" for t in THREADS] + ["speedup@32"],
-        rows,
-        title="Fig. 4: modelled odgi-layout run time vs thread count",
-    ))
+    run_case(_CASE.name)

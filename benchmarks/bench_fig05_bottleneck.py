@@ -1,52 +1,27 @@
-"""Fig. 5 — microarchitecture bottleneck analysis (top-down categories).
+"""Pytest shim for the fig05_bottleneck benchmark case.
 
-The paper's VTune analysis shows the CPU baseline is memory-bound on all
-three representative graphs (53.5% → 65.4% → 70.9% of pipeline slots from
-HLA-DRB1 to Chr.1). Here the same categories are derived from the cache
-profile of the real access trace, and the benchmark times that analysis.
+The case body lives in :mod:`repro.bench.cases.fig05_bottleneck`. Run it directly
+with ``python benchmarks/bench_fig05_bottleneck.py``, through ``pytest
+benchmarks/bench_fig05_bottleneck.py``, or as part of ``repro bench run``.
 """
 from __future__ import annotations
 
 import pytest
 
-from repro.bench import format_table
-from repro.gpusim import WorkloadCounters, XEON_6246R, memory_bound_analysis
-from repro.parallel import cpu_cache_profile
+from repro.bench.cases.fig05_bottleneck import run as case_run
 
-PAPER_MEMORY_BOUND = {"HLA-DRB1": 0.535, "MHC": 0.654, "Chr.1": 0.709}
+_CASE = case_run.case
 
 
-@pytest.mark.paper_table("Fig. 5")
-def test_fig05_memory_bound_analysis(benchmark, representative_graphs, bench_params):
-    def analyze():
-        out = {}
-        for name, graph in representative_graphs.items():
-            traffic, n_terms = cpu_cache_profile(graph, bench_params, n_trace_terms=2048)
-            out[name] = memory_bound_analysis(
-                XEON_6246R, traffic, WorkloadCounters(), n_terms=n_terms
-            )
-        return out
+@pytest.mark.paper_table(_CASE.source)
+def test_fig05_bottleneck(bench_ctx):
+    result = _CASE.run(bench_ctx)
+    for table in result.tables:
+        print()
+        print(table)
 
-    profiles = benchmark.pedantic(analyze, rounds=3, iterations=1)
 
-    rows = []
-    for name, prof in profiles.items():
-        d = prof.as_dict()
-        rows.append([
-            name,
-            f"{d['memory_bound']:.1%}", f"{PAPER_MEMORY_BOUND[name]:.1%}",
-            f"{d['core_bound']:.1%}", f"{d['front_end_bound']:.1%}",
-            f"{d['bad_speculation']:.1%}",
-        ])
-        # The workload must be dominated by the memory-bound category.
-        assert d["memory_bound"] == max(d.values())
-        assert d["memory_bound"] > 0.4
-    # Larger graphs are more memory-bound (bigger working set, worse locality).
-    assert profiles["Chr.1"].memory_bound >= profiles["HLA-DRB1"].memory_bound - 0.05
+if __name__ == "__main__":
+    from repro.bench.runner import run_case
 
-    print()
-    print(format_table(
-        ["Pangenome", "MemBound", "MemBound(paper)", "CoreBound", "FrontEnd", "BadSpec"],
-        rows,
-        title="Fig. 5: top-down bottleneck categories of the CPU baseline",
-    ))
+    run_case(_CASE.name)

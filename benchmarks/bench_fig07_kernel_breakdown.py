@@ -1,47 +1,27 @@
-"""Fig. 7 — kernel-time breakdown of the PyTorch-style implementation.
+"""Pytest shim for the fig07_kernel_breakdown benchmark case.
 
-The paper's Nsight profiling shows the irregular gather/scatter ("index")
-kernels consuming the largest share (~34–36%) of GPU time at every batch
-size. This benchmark runs the batched engine at three batch sizes and prints
-the modelled per-op time shares.
+The case body lives in :mod:`repro.bench.cases.fig07_kernel_breakdown`. Run it directly
+with ``python benchmarks/bench_fig07_kernel_breakdown.py``, through ``pytest
+benchmarks/bench_fig07_kernel_breakdown.py``, or as part of ``repro bench run``.
 """
 from __future__ import annotations
 
 import pytest
 
-from repro.bench import format_table
-from repro.core import BatchedLayoutEngine
+from repro.bench.cases.fig07_kernel_breakdown import run as case_run
 
-PAPER_INDEX_SHARE = {"small": 0.345, "medium": 0.360, "large": 0.340}
-BATCH_SIZES = {"small": 256, "medium": 2048, "large": 16384}
+_CASE = case_run.case
 
 
-@pytest.mark.paper_table("Fig. 7")
-def test_fig07_kernel_time_breakdown(benchmark, mhc_graph, bench_params):
-    def run_all():
-        out = {}
-        for label, batch_size in BATCH_SIZES.items():
-            engine = BatchedLayoutEngine(mhc_graph, bench_params.with_(batch_size=batch_size))
-            engine.run()
-            out[label] = engine.op_profile.time_breakdown()
-        return out
+@pytest.mark.paper_table(_CASE.source)
+def test_fig07_kernel_breakdown(bench_ctx):
+    result = _CASE.run(bench_ctx)
+    for table in result.tables:
+        print()
+        print(table)
 
-    breakdowns = benchmark.pedantic(run_all, rounds=1, iterations=1)
 
-    ops = sorted({op for b in breakdowns.values() for op in b})
-    rows = []
-    for label, breakdown in breakdowns.items():
-        rows.append([label, BATCH_SIZES[label]]
-                    + [f"{breakdown.get(op, 0.0):.1%}" for op in ops])
-        # The index (gather/scatter) kernels dominate at every batch size.
-        assert breakdown["index"] == max(breakdown.values())
-        assert breakdown["index"] > 0.25
-        assert sum(breakdown.values()) == pytest.approx(1.0, rel=1e-6)
+if __name__ == "__main__":
+    from repro.bench.runner import run_case
 
-    print()
-    print(format_table(
-        ["Batch", "Size"] + ops,
-        rows,
-        title="Fig. 7: kernel time breakdown of the PyTorch-style engine "
-              f"(paper: index ≈ {PAPER_INDEX_SHARE['medium']:.0%})",
-    ))
+    run_case(_CASE.name)

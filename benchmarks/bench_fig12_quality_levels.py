@@ -1,59 +1,27 @@
-"""Fig. 12 — layouts of varying quality differentiated by path stress.
+"""Pytest shim for the fig12_quality_levels benchmark case.
 
-Generates four layouts of the HLA-DRB1-like graph spanning the quality range
-(random, barely optimised, partially optimised, fully optimised) and shows
-that the path-stress metric orders them correctly, as in the paper's Fig. 12
-(142.2 → 22.4 → 1.3 → 0.07).
+The case body lives in :mod:`repro.bench.cases.fig12_quality_levels`. Run it directly
+with ``python benchmarks/bench_fig12_quality_levels.py``, through ``pytest
+benchmarks/bench_fig12_quality_levels.py``, or as part of ``repro bench run``.
 """
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
-from repro.bench import format_table
-from repro.core import CpuBaselineEngine, LayoutParams
-from repro.core.layout import Layout
-from repro.metrics import sampled_path_stress
+from repro.bench.cases.fig12_quality_levels import run as case_run
 
-PAPER_VALUES = [142.2, 22.4, 1.3, 0.07]
+_CASE = case_run.case
 
 
-@pytest.mark.paper_table("Fig. 12")
-def test_fig12_quality_levels(benchmark, hla_graph):
-    graph = hla_graph
-    rng = np.random.default_rng(3)
-    scrambled = Layout(rng.uniform(0, 2000.0, size=(2 * graph.n_nodes, 2)))
+@pytest.mark.paper_table(_CASE.source)
+def test_fig12_quality_levels(bench_ctx):
+    result = _CASE.run(bench_ctx)
+    for table in result.tables:
+        print()
+        print(table)
 
-    def build_layouts():
-        # All three optimised layouts run the complete annealing schedule but
-        # with increasing per-iteration step budgets, i.e. increasingly
-        # converged results (truncating the schedule instead would leave the
-        # layout at a large learning rate and produce garbage, not an
-        # intermediate quality level).
-        layouts = {"random": scrambled}
-        for label, iters, steps in (("early", 8, 0.1), ("partial", 12, 0.6), ("converged", 20, 4.0)):
-            params = LayoutParams(iter_max=iters, steps_per_step_unit=steps, seed=5)
-            layouts[label] = CpuBaselineEngine(graph, params).run(initial=scrambled).layout
-        return layouts
 
-    layouts = benchmark.pedantic(build_layouts, rounds=1, iterations=1)
+if __name__ == "__main__":
+    from repro.bench.runner import run_case
 
-    rows = []
-    values = []
-    for (label, layout), paper in zip(layouts.items(), PAPER_VALUES):
-        sps = sampled_path_stress(layout, graph, samples_per_step=25, seed=0)
-        values.append(sps.value)
-        rows.append([label, f"{sps.value:.3g}", f"[{sps.ci_low:.3g}, {sps.ci_high:.3g}]", paper])
-
-    # The metric must strictly order the quality ladder, spanning orders of
-    # magnitude between the random and the converged layout.
-    assert values[0] > values[1] > values[3]
-    assert values[2] > values[3]
-    assert values[0] / max(values[3], 1e-9) > 50
-
-    print()
-    print(format_table(
-        ["Layout", "Sampled path stress", "95% CI", "Paper Fig.12 value"],
-        rows,
-        title="Fig. 12: path stress differentiates layout quality (HLA-DRB1-like)",
-    ))
+    run_case(_CASE.name)

@@ -1,58 +1,27 @@
-"""Fig. 13 — correlation between sampled path stress and exact path stress.
+"""Pytest shim for the fig13_correlation benchmark case.
 
-Evaluates both metrics on a collection of small pangenome layouts spanning a
-wide quality range (the paper uses 1824 small layouts and reports a Pearson
-correlation of 0.995) and asserts a near-perfect linear correlation.
+The case body lives in :mod:`repro.bench.cases.fig13_correlation`. Run it directly
+with ``python benchmarks/bench_fig13_correlation.py``, through ``pytest
+benchmarks/bench_fig13_correlation.py``, or as part of ``repro bench run``.
 """
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
-from repro.bench import format_table
-from repro.core import CpuBaselineEngine, LayoutParams, initialize_layout
-from repro.core.layout import Layout
-from repro.metrics import correlation_study, path_stress, sampled_path_stress
-from repro.synth import small_graph_collection
+from repro.bench.cases.fig13_correlation import run as case_run
+
+_CASE = case_run.case
 
 
-@pytest.mark.paper_table("Fig. 13")
-def test_fig13_sampled_vs_exact_correlation(benchmark):
-    graphs = small_graph_collection(n_graphs=18, seed=5)
-    rng = np.random.default_rng(0)
+@pytest.mark.paper_table(_CASE.source)
+def test_fig13_correlation(bench_ctx):
+    result = _CASE.run(bench_ctx)
+    for table in result.tables:
+        print()
+        print(table)
 
-    def evaluate():
-        pairs = []
-        for i, graph in enumerate(graphs):
-            # Vary the layout quality: random, initial, or partially optimised.
-            mode = i % 3
-            if mode == 0:
-                layout = Layout(rng.uniform(0, 300.0, size=(2 * graph.n_nodes, 2)))
-            elif mode == 1:
-                layout = initialize_layout(graph, seed=i)
-            else:
-                params = LayoutParams(iter_max=4, steps_per_step_unit=1.0, seed=i)
-                layout = CpuBaselineEngine(graph, params).run().layout
-            exact = path_stress(layout, graph, max_pairs=3_000_000)
-            sampled = sampled_path_stress(layout, graph, samples_per_step=60, seed=i).value
-            pairs.append((exact, sampled))
-        return pairs
 
-    pairs = benchmark.pedantic(evaluate, rounds=1, iterations=1)
-    corr = correlation_study(pairs)
-    log_corr = correlation_study([(np.log10(max(a, 1e-9)), np.log10(max(b, 1e-9)))
-                                  for a, b in pairs])
+if __name__ == "__main__":
+    from repro.bench.runner import run_case
 
-    rows = [[f"{a:.4g}", f"{b:.4g}", f"{b / max(a, 1e-12):.2f}"] for a, b in pairs]
-    # Paper: correlation 0.995 across 1824 layouts. Require a near-perfect
-    # linear relationship on this smaller collection.
-    assert corr > 0.97
-    assert log_corr > 0.95
-
-    print()
-    print(format_table(
-        ["Path stress", "Sampled path stress", "ratio"],
-        rows,
-        title=f"Fig. 13: sampled vs exact path stress over {len(pairs)} layouts "
-              f"(correlation = {corr:.3f}, log-log = {log_corr:.3f}; paper: 0.995)",
-    ))
+    run_case(_CASE.name)

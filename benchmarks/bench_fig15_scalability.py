@@ -1,61 +1,27 @@
-"""Fig. 15 — scalability of CPU and GPU run time with total path length.
+"""Pytest shim for the fig15_scalability benchmark case.
 
-The paper shows both the CPU baseline and the GPU implementation scaling
-linearly with total path length (the number of updates is proportional to
-Σ|p|). This benchmark evaluates the performance model across the chromosome
-suite and fits the run-time-vs-path-length relationship.
+The case body lives in :mod:`repro.bench.cases.fig15_scalability`. Run it directly
+with ``python benchmarks/bench_fig15_scalability.py``, through ``pytest
+benchmarks/bench_fig15_scalability.py``, or as part of ``repro bench run``.
 """
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
-from repro.bench import evaluate_graph_performance, format_table
+from repro.bench.cases.fig15_scalability import run as case_run
+
+_CASE = case_run.case
 
 
-@pytest.mark.paper_table("Fig. 15")
-def test_fig15_scalability_with_path_length(benchmark, chromosome_graphs, bench_params):
-    def evaluate_all():
-        points = []
-        for name, graph in chromosome_graphs.items():
-            report = evaluate_graph_performance(graph, name, bench_params,
-                                                n_trace_terms=384, cpu_threads=32)
-            points.append((name, graph.total_steps, report.cpu.total_s,
-                           report.gpu["A6000"].total_s))
-        return points
+@pytest.mark.paper_table(_CASE.source)
+def test_fig15_scalability(bench_ctx):
+    result = _CASE.run(bench_ctx)
+    for table in result.tables:
+        print()
+        print(table)
 
-    points = benchmark.pedantic(evaluate_all, rounds=1, iterations=1)
-    points.sort(key=lambda p: p[1])
 
-    lengths = np.array([p[1] for p in points], dtype=float)
-    cpu_times = np.array([p[2] for p in points])
-    gpu_times = np.array([p[3] for p in points])
+if __name__ == "__main__":
+    from repro.bench.runner import run_case
 
-    # Linear-fit quality (R^2) for run time vs total path length.
-    def r_squared(x, y):
-        coeffs = np.polyfit(x, y, 1)
-        pred = np.polyval(coeffs, x)
-        ss_res = np.sum((y - pred) ** 2)
-        ss_tot = np.sum((y - y.mean()) ** 2)
-        return 1 - ss_res / ss_tot, coeffs
-
-    cpu_r2, cpu_fit = r_squared(lengths, cpu_times)
-    gpu_r2, gpu_fit = r_squared(lengths, gpu_times)
-
-    rows = [[name, steps, f"{cpu_s:.3g}", f"{gpu_s:.3g}"]
-            for name, steps, cpu_s, gpu_s in points[:: max(1, len(points) // 12)]]
-    rows.append(["R^2 of linear fit", "-", f"{cpu_r2:.3f}", f"{gpu_r2:.3f}"])
-
-    # Fig. 15: both implementations scale linearly in total path length.
-    assert cpu_r2 > 0.85
-    assert gpu_r2 > 0.85
-    assert cpu_fit[0] > 0 and gpu_fit[0] > 0
-    # And the CPU is uniformly slower than the GPU.
-    assert np.all(cpu_times > gpu_times)
-
-    print()
-    print(format_table(
-        ["Pangenome", "Total path steps", "CPU time (s)", "A6000 time (s)"],
-        rows,
-        title="Fig. 15: run time vs total path length (linear scaling)",
-    ))
+    run_case(_CASE.name)

@@ -1,59 +1,27 @@
-"""Fig. 16 — speedup through successive optimisations.
+"""Pytest shim for the fig16_ablation_ladder benchmark case.
 
-Builds the full optimisation ladder on the Chr.1-like graph: CPU baseline,
-CPU + cache-friendly data layout, base CUDA kernel, then the three GPU kernel
-optimisations added one at a time. The paper's anchors: CPU+CDL ≈ 3.1×,
-base CUDA ≈ 14.6×, fully optimized ≈ 27.7× over the CPU baseline.
+The case body lives in :mod:`repro.bench.cases.fig16_ablation_ladder`. Run it directly
+with ``python benchmarks/bench_fig16_ablation_ladder.py``, through ``pytest
+benchmarks/bench_fig16_ablation_ladder.py``, or as part of ``repro bench run``.
 """
 from __future__ import annotations
 
 import pytest
 
-from repro.bench import ablation_ladder, format_table
+from repro.bench.cases.fig16_ablation_ladder import run as case_run
 
-PAPER_SPEEDUPS = {
-    "cpu-baseline": 1.0,
-    "cpu+cdl": 3.1,
-    "gpu-base": 14.6,
-    "gpu+cdl+crs+wm": 27.7,
-}
-
-ORDER = ["cpu-baseline", "cpu+cdl", "gpu-base", "gpu+cdl", "gpu+cdl+crs", "gpu+cdl+crs+wm"]
+_CASE = case_run.case
 
 
-@pytest.mark.paper_table("Fig. 16")
-def test_fig16_successive_optimisations(benchmark, chr1_graph, bench_params):
-    ladder = benchmark.pedantic(
-        lambda: ablation_ladder(chr1_graph, bench_params, n_trace_terms=1536),
-        rounds=1, iterations=1,
-    )
+@pytest.mark.paper_table(_CASE.source)
+def test_fig16_ablation_ladder(bench_ctx):
+    result = _CASE.run(bench_ctx)
+    for table in result.tables:
+        print()
+        print(table)
 
-    base = ladder["cpu-baseline"]
-    rows = []
-    for stage in ORDER:
-        speedup = base / ladder[stage]
-        rows.append([stage, f"{ladder[stage]:.3g}", f"{speedup:.1f}x",
-                     f"{PAPER_SPEEDUPS.get(stage, float('nan')):.1f}x"
-                     if stage in PAPER_SPEEDUPS else "-"])
 
-    # Orderings the paper reports (the reproduction target is the shape).
-    assert ladder["cpu+cdl"] < ladder["cpu-baseline"]
-    assert ladder["gpu-base"] < ladder["cpu-baseline"]
-    assert ladder["gpu+cdl"] < ladder["gpu-base"]
-    assert ladder["gpu+cdl+crs"] < ladder["gpu+cdl"]
-    assert ladder["gpu+cdl+crs+wm"] < ladder["gpu+cdl+crs"]
-    # Magnitude bands (generous): CPU+CDL gives a clear win, the GPU base
-    # kernel is >4x over the CPU, the full ladder is >8x, and the three kernel
-    # optimisations together roughly double the base kernel (paper: 14.6x ->
-    # 27.7x, i.e. 1.9x).
-    assert base / ladder["cpu+cdl"] > 1.3
-    assert base / ladder["gpu-base"] > 4.0
-    assert base / ladder["gpu+cdl+crs+wm"] > 8.0
-    assert ladder["gpu-base"] / ladder["gpu+cdl+crs+wm"] > 1.4
+if __name__ == "__main__":
+    from repro.bench.runner import run_case
 
-    print()
-    print(format_table(
-        ["Stage", "Modelled time (s)", "Speedup", "Paper speedup"],
-        rows,
-        title="Fig. 16: speedup through successive optimisations (Chr.1-like)",
-    ))
+    run_case(_CASE.name)

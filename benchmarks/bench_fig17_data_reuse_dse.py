@@ -1,82 +1,27 @@
-"""Fig. 17 — design-space exploration of the warp-shuffle data-reuse schemes.
+"""Pytest shim for the fig17_data_reuse_dse benchmark case.
 
-Sweeps the (data-reuse factor, step-reduction factor) schemes of the paper's
-case study on the Chr.1-like and Chr.2-like graphs, measuring the modelled
-speedup over the fully optimized kernel and the sampled path stress of the
-actual layouts. Paper shape: higher reuse → more speedup but higher stress;
-DRF=2 schemes remain good/satisfying while DRF=8 schemes turn poor; an extra
-~1.5x speedup is attainable while preserving good quality.
+The case body lives in :mod:`repro.bench.cases.fig17_data_reuse_dse`. Run it directly
+with ``python benchmarks/bench_fig17_data_reuse_dse.py``, through ``pytest
+benchmarks/bench_fig17_data_reuse_dse.py``, or as part of ``repro bench run``.
 """
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
-from repro.bench import format_table
-from repro.core import GpuKernelConfig, OptimizedGpuEngine
-from repro.core.layout import Layout
-from repro.gpusim import RTX_A6000
-from repro.metrics import classify_quality, sampled_path_stress
-from repro.synth import chromosome_suite
+from repro.bench.cases.fig17_data_reuse_dse import run as case_run
 
-SCHEMES = [(1, 1.0), (2, 1.5), (4, 1.5), (2, 1.75), (4, 2.0), (8, 2.0), (8, 2.5)]
+_CASE = case_run.case
 
 
-@pytest.mark.paper_table("Fig. 17")
-def test_fig17_data_reuse_design_space(benchmark, chr1_graph, quality_bench_params):
-    graphs = {"Chr.1-like": chr1_graph,
-              "Chr.2-like": chromosome_suite(scale=0.35, quick=True)["Chr.2"]}
-    params = quality_bench_params
-
-    def explore():
-        out = {}
-        for graph_name, graph in graphs.items():
-            rng = np.random.default_rng(23)
-            scrambled = Layout(rng.uniform(0, 1000.0, size=(2 * graph.n_nodes, 2)))
-            baseline_runtime = None
-            baseline_stress = None
-            rows = []
-            for drf, srf in SCHEMES:
-                cfg = GpuKernelConfig(data_reuse_factor=drf, step_reduction_factor=srf)
-                engine = OptimizedGpuEngine(graph, params, cfg)
-                profile = engine.profile(device=RTX_A6000, n_sample_terms=1024)
-                result = engine.run(initial=scrambled)
-                sps = sampled_path_stress(result.layout, graph, samples_per_step=20, seed=0)
-                if (drf, srf) == (1, 1.0):
-                    baseline_runtime = profile.runtime_s
-                    baseline_stress = max(sps.value, 1e-9)
-                rows.append(((drf, srf), profile.runtime_s, sps.value))
-            out[graph_name] = (baseline_runtime, baseline_stress, rows)
-        return out
-
-    results = benchmark.pedantic(explore, rounds=1, iterations=1)
-
-    for graph_name, (base_rt, base_sps, entries) in results.items():
-        table_rows = []
-        speedups = {}
-        stresses = {}
-        for (drf, srf), runtime, sps in entries:
-            speedup = base_rt / runtime
-            quality = classify_quality(sps, base_sps)
-            speedups[(drf, srf)] = speedup
-            stresses[(drf, srf)] = sps
-            table_rows.append([f"({drf}, {srf})", f"{speedup:.2f}x", f"{sps:.3g}",
-                               quality.value])
+@pytest.mark.paper_table(_CASE.source)
+def test_fig17_data_reuse_dse(bench_ctx):
+    result = _CASE.run(bench_ctx)
+    for table in result.tables:
         print()
-        print(format_table(
-            ["Scheme (DRF, SRF)", "Normalized speedup", "Sampled path stress", "Quality"],
-            table_rows,
-            title=f"Fig. 17: data-reuse design space on {graph_name} "
-                  f"(baseline stress {base_sps:.3g})",
-        ))
-        # Shape assertions (the paper's trade-off frontier): reuse schemes are
-        # faster than the (1,1) baseline, the most aggressive scheme is the
-        # fastest and attains the paper's ~1.5x-or-better extra speedup, and
-        # stress grows with reuse aggressiveness — mild reuse (DRF=2) sits in
-        # the attractive corner with far lower stress than DRF=8 schemes.
-        assert speedups[(8, 2.5)] > speedups[(2, 1.5)] > 1.0
-        assert speedups[(2, 1.5)] > 1.3
-        assert speedups[(8, 2.5)] > 1.8
-        assert stresses[(8, 2.5)] > stresses[(2, 1.5)]
-        assert stresses[(8, 2.0)] >= stresses[(2, 1.5)]
-        assert stresses[(2, 1.5)] < stresses[(8, 2.5)] / 5.0
+        print(table)
+
+
+if __name__ == "__main__":
+    from repro.bench.runner import run_case
+
+    run_case(_CASE.name)

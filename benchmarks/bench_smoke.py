@@ -1,0 +1,26 @@
+"""Pytest shim for the CI smoke suite (the perf-regression gate workloads).
+
+The case bodies live in :mod:`repro.bench.cases.smoke`. The canonical entry
+point is ``repro bench run --suite smoke``; this shim lets the same cases run
+under pytest (``pytest benchmarks/bench_smoke.py``).
+"""
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.registry import load_builtin_cases
+
+_SMOKE_CASES = load_builtin_cases().suite("smoke")
+
+
+@pytest.mark.paper_table("CI smoke gate")
+@pytest.mark.parametrize("case", _SMOKE_CASES, ids=lambda c: c.name)
+def test_smoke_case(case, bench_ctx):
+    result = case.run(bench_ctx)
+    assert result.metrics, f"smoke case {case.name} recorded no metrics"
+
+
+if __name__ == "__main__":
+    from repro.bench.runner import run_suite
+
+    run_suite("smoke")

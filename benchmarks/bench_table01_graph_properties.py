@@ -1,48 +1,27 @@
-"""Table I — properties of the representative pangenomes.
+"""Pytest shim for the table01_graph_properties benchmark case.
 
-Prints nucleotides / nodes / edges / paths for the HLA-DRB1-, MHC- and
-Chr.1-like synthetic graphs next to the paper's full-scale values, and
-benchmarks the statistics computation itself.
+The case body lives in :mod:`repro.bench.cases.table01_graph_properties`. Run it directly
+with ``python benchmarks/bench_table01_graph_properties.py``, through ``pytest
+benchmarks/bench_table01_graph_properties.py``, or as part of ``repro bench run``.
 """
 from __future__ import annotations
 
 import pytest
 
-from repro.bench import format_sci, format_table
-from repro.graph import compute_stats
-from repro.synth import REPRESENTATIVE_SPECS
+from repro.bench.cases.table01_graph_properties import run as case_run
+
+_CASE = case_run.case
 
 
-@pytest.mark.paper_table("Table I")
-def test_table01_graph_properties(benchmark, representative_graphs):
-    rows = []
+@pytest.mark.paper_table(_CASE.source)
+def test_table01_graph_properties(bench_ctx):
+    result = _CASE.run(bench_ctx)
+    for table in result.tables:
+        print()
+        print(table)
 
-    def compute_all():
-        return {name: compute_stats(g, name) for name, g in representative_graphs.items()}
 
-    stats = benchmark(compute_all)
+if __name__ == "__main__":
+    from repro.bench.runner import run_case
 
-    for name, st in stats.items():
-        paper = REPRESENTATIVE_SPECS[name].paper
-        rows.append([
-            name,
-            format_sci(st.n_nucleotides), format_sci(paper.n_nucleotides),
-            format_sci(st.n_nodes), format_sci(paper.n_nodes),
-            format_sci(st.n_edges), format_sci(paper.n_edges),
-            st.n_paths, int(paper.n_paths),
-            round(st.avg_degree, 2),
-        ])
-        # The representative graphs must keep the paper's size ordering and
-        # sparsity even at reduced scale.
-        assert st.avg_degree < 4.0
-        assert st.density < 0.05
-    assert stats["HLA-DRB1"].n_nucleotides < stats["MHC"].n_nucleotides < stats["Chr.1"].n_nucleotides
-    assert stats["HLA-DRB1"].n_nodes < stats["Chr.1"].n_nodes
-
-    print()
-    print(format_table(
-        ["Pangenome", "#Nuc", "#Nuc(paper)", "#Nodes", "#Nodes(paper)",
-         "#Edges", "#Edges(paper)", "#Paths", "#Paths(paper)", "deg"],
-        rows,
-        title="Table I: properties of representative pangenomes (scaled reproduction vs paper)",
-    ))
+    run_case(_CASE.name)

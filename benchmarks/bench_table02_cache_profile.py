@@ -1,56 +1,27 @@
-"""Table II — memory stall and LLC cache performance of the CPU baseline.
+"""Pytest shim for the table02_cache_profile benchmark case.
 
-Replays real access traces of the CPU baseline through the scaled LLC model
-and reports LLC-load miss rates and an estimated memory-stall-cycle fraction
-next to the paper's Perf measurements (67.7–78.1% stalls, 75–90% miss rate).
+The case body lives in :mod:`repro.bench.cases.table02_cache_profile`. Run it directly
+with ``python benchmarks/bench_table02_cache_profile.py``, through ``pytest
+benchmarks/bench_table02_cache_profile.py``, or as part of ``repro bench run``.
 """
 from __future__ import annotations
 
 import pytest
 
-from repro.bench import format_table
-from repro.gpusim import WorkloadCounters, XEON_6246R, memory_bound_analysis
-from repro.parallel import cpu_cache_profile
+from repro.bench.cases.table02_cache_profile import run as case_run
 
-PAPER = {
-    "HLA-DRB1": {"stall": 0.6767, "miss": 0.7509},
-    "MHC": {"stall": 0.7807, "miss": 0.7784},
-    "Chr.1": {"stall": 0.7738, "miss": 0.8988},
-}
+_CASE = case_run.case
 
 
-@pytest.mark.paper_table("Table II")
-def test_table02_cache_profile(benchmark, representative_graphs, bench_params):
-    def collect():
-        out = {}
-        for name, graph in representative_graphs.items():
-            traffic, n_terms = cpu_cache_profile(graph, bench_params, n_trace_terms=4096)
-            topdown = memory_bound_analysis(XEON_6246R, traffic, WorkloadCounters(), n_terms)
-            out[name] = (traffic, topdown)
-        return out
+@pytest.mark.paper_table(_CASE.source)
+def test_table02_cache_profile(bench_ctx):
+    result = _CASE.run(bench_ctx)
+    for table in result.tables:
+        print()
+        print(table)
 
-    results = benchmark.pedantic(collect, rounds=3, iterations=1)
 
-    rows = []
-    for name, (traffic, topdown) in results.items():
-        stall = topdown.memory_bound
-        rows.append([
-            name,
-            f"{stall:.1%}", f"{PAPER[name]['stall']:.1%}",
-            f"{traffic.llc_miss_rate:.1%}", f"{PAPER[name]['miss']:.1%}",
-            int(traffic.llc_loads), int(traffic.llc_load_misses),
-        ])
-        # The shape to reproduce: the majority of slots stall on memory and
-        # the LLC miss rate is high under random node access.
-        assert stall > 0.4
-        assert traffic.llc_miss_rate > 0.3
-    # Miss rate grows with graph size, as in the paper.
-    assert results["Chr.1"][0].llc_miss_rate >= results["HLA-DRB1"][0].llc_miss_rate - 0.05
+if __name__ == "__main__":
+    from repro.bench.runner import run_case
 
-    print()
-    print(format_table(
-        ["Pangenome", "MemStall", "MemStall(paper)", "LLC miss", "LLC miss(paper)",
-         "LLC loads(trace)", "LLC misses(trace)"],
-        rows,
-        title="Table II: memory stall and cache performance of the CPU baseline",
-    ))
+    run_case(_CASE.name)

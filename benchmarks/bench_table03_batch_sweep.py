@@ -1,85 +1,27 @@
-"""Table III — batch-size sweep of the PyTorch-style implementation.
+"""Pytest shim for the table03_batch_sweep benchmark case.
 
-Sweeps the batched engine's batch size on the MHC-like graph, measuring
-(1) the modelled GPU run time / speedup over the modelled 32-thread CPU
-baseline and (2) the layout quality band derived from sampled path stress
-relative to the CPU baseline layout. The paper's shape: run time falls as the
-batch grows, speedup saturates around 1M, and very large batches degrade
-quality from Good to Satisfying/Poor.
+The case body lives in :mod:`repro.bench.cases.table03_batch_sweep`. Run it directly
+with ``python benchmarks/bench_table03_batch_sweep.py``, through ``pytest
+benchmarks/bench_table03_batch_sweep.py``, or as part of ``repro bench run``.
 """
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
-from repro.bench import format_table
-from repro.core import BatchedLayoutEngine, CpuBaselineEngine, LayoutParams
-from repro.core.layout import Layout
-from repro.gpusim import RTX_A6000, WorkloadCounters, gpu_runtime, cpu_runtime
-from repro.metrics import classify_quality, sampled_path_stress
-from repro.parallel import cpu_cache_profile
+from repro.bench.cases.table03_batch_sweep import run as case_run
 
-# Batch sizes scaled down with the dataset (paper: 10K .. 100M on 2.3e5 nodes).
-BATCH_SIZES = [64, 512, 4096, 32768]
+_CASE = case_run.case
 
 
-@pytest.mark.paper_table("Table III")
-def test_table03_pytorch_batch_sweep(benchmark, mhc_graph, quality_bench_params):
-    graph = mhc_graph
-    params = quality_bench_params
-    rng = np.random.default_rng(1)
-    scrambled = Layout(rng.uniform(0, 1000.0, size=(2 * graph.n_nodes, 2)))
+@pytest.mark.paper_table(_CASE.source)
+def test_table03_batch_sweep(bench_ctx):
+    result = _CASE.run(bench_ctx)
+    for table in result.tables:
+        print()
+        print(table)
 
-    # Reference: CPU baseline layout quality and modelled run time.
-    cpu_result = CpuBaselineEngine(graph, params).run(initial=scrambled)
-    cpu_sps = sampled_path_stress(cpu_result.layout, graph, samples_per_step=25, seed=0)
-    traffic, traced = cpu_cache_profile(graph, params, n_trace_terms=1024)
-    total_terms = float(params.iter_max * params.steps_per_iteration(graph.total_steps))
-    cpu_time = cpu_runtime(
-        __import__("repro.gpusim", fromlist=["XEON_6246R"]).XEON_6246R,
-        total_terms, traffic.scaled(total_terms / traced), WorkloadCounters(), n_threads=32,
-    )
 
-    def sweep():
-        out = {}
-        for batch_size in BATCH_SIZES:
-            engine = BatchedLayoutEngine(graph, params.with_(batch_size=batch_size))
-            result = engine.run(initial=scrambled)
-            sps = sampled_path_stress(result.layout, graph, samples_per_step=25, seed=0)
-            modelled = gpu_runtime(
-                RTX_A6000,
-                n_terms=total_terms,
-                traffic=traffic.scaled(total_terms / traced),
-                kernel_launches=engine.kernel_launches_for(int(total_terms)),
-                sectors_per_request=24.0,
-            )
-            out[batch_size] = (modelled.total_s, sps, engine.op_profile.total_launches)
-        return out
+if __name__ == "__main__":
+    from repro.bench.runner import run_case
 
-    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
-
-    rows = []
-    times = []
-    for batch_size, (gpu_s, sps, launches) in results.items():
-        quality = classify_quality(sps.value, max(cpu_sps.value, 1e-9))
-        speedup = cpu_time.total_s / gpu_s
-        times.append(gpu_s)
-        rows.append([batch_size, f"{gpu_s:.3g}", f"{speedup:.1f}x",
-                     f"{sps.value:.3g}", quality.value, launches])
-    # Run time decreases (then flattens) as the batch size grows, because the
-    # kernel-launch overhead amortises — the Table III / Table IV shape.
-    assert times[0] > times[-1]
-    assert times[1] >= times[2] * 0.9
-    # Small/medium batches preserve quality relative to the CPU layout.
-    small_quality = classify_quality(results[BATCH_SIZES[0]][1].value, max(cpu_sps.value, 1e-9))
-    assert small_quality.value in ("Good", "Satisfying")
-    # Larger batches never improve quality below the small-batch stress.
-    assert results[BATCH_SIZES[-1]][1].value >= results[BATCH_SIZES[0]][1].value * 0.5
-
-    print()
-    print(format_table(
-        ["Batch size", "Modelled GPU s", "Speedup vs CPU", "Sampled stress", "Quality", "Kernel launches"],
-        rows,
-        title=f"Table III: batch-size sweep on MHC-like graph (CPU stress {cpu_sps.value:.3g}, "
-              f"modelled CPU {cpu_time.total_s:.3g}s)",
-    ))
+    run_case(_CASE.name)

@@ -1,63 +1,27 @@
-"""Table IV — CUDA kernel-launch overhead of the PyTorch-style engine.
+"""Pytest shim for the table04_kernel_launches benchmark case.
 
-Counts the tensor-op kernel launches required per batch size and the modelled
-fraction of time spent in launch overhead, reproducing the paper's
-observation that small batches spend most of their time in the CUDA API
-(76.4% at 100K) while large batches amortise it (2.1% at 10M). The optimized
-CUDA kernel launches only iter_max+1 kernels in total.
+The case body lives in :mod:`repro.bench.cases.table04_kernel_launches`. Run it directly
+with ``python benchmarks/bench_table04_kernel_launches.py``, through ``pytest
+benchmarks/bench_table04_kernel_launches.py``, or as part of ``repro bench run``.
 """
 from __future__ import annotations
 
 import pytest
 
-from repro.bench import format_table
-from repro.core import BatchedLayoutEngine, LayoutParams, OptimizedGpuEngine
+from repro.bench.cases.table04_kernel_launches import run as case_run
 
-BATCH_SIZES = [256, 2048, 16384]
+_CASE = case_run.case
 
 
-@pytest.mark.paper_table("Table IV")
-def test_table04_kernel_launch_overhead(benchmark, mhc_graph, bench_params):
-    graph = mhc_graph
-    params = bench_params
+@pytest.mark.paper_table(_CASE.source)
+def test_table04_kernel_launches(bench_ctx):
+    result = _CASE.run(bench_ctx)
+    for table in result.tables:
+        print()
+        print(table)
 
-    def run_sweep():
-        out = {}
-        for batch_size in BATCH_SIZES:
-            engine = BatchedLayoutEngine(graph, params.with_(batch_size=batch_size))
-            engine.run()
-            out[batch_size] = (
-                engine.op_profile.total_launches,
-                engine.op_profile.api_overhead_fraction,
-            )
-        return out
 
-    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+if __name__ == "__main__":
+    from repro.bench.runner import run_case
 
-    gpu_engine = OptimizedGpuEngine(graph, params)
-    optimized_launches = gpu_engine.kernel_launches()
-
-    rows = []
-    launches_list = []
-    overhead_list = []
-    for batch_size, (launches, overhead) in results.items():
-        launches_list.append(launches)
-        overhead_list.append(overhead)
-        rows.append([batch_size, launches, f"{overhead:.1%}"])
-    rows.append(["optimized CUDA kernel", optimized_launches, "-"])
-
-    # Kernel launches are inversely proportional to batch size.
-    assert launches_list[0] > launches_list[1] > launches_list[2]
-    assert launches_list[0] > 4 * launches_list[2]
-    # API overhead fraction shrinks with the batch size.
-    assert overhead_list[0] > overhead_list[-1]
-    # The custom kernel launches orders of magnitude fewer kernels (Sec. V-A).
-    assert optimized_launches < launches_list[-1] / 10
-    assert optimized_launches == params.iter_max + 1
-
-    print()
-    print(format_table(
-        ["Batch size", "Kernel launches", "CUDA API time share"],
-        rows,
-        title="Table IV: kernel launching overhead (PyTorch-style engine vs optimized kernel)",
-    ))
+    run_case(_CASE.name)

@@ -1,77 +1,27 @@
-"""Table V — run time of the quality metrics (full vs sampled path stress).
+"""Pytest shim for the table05_metric_runtime benchmark case.
 
-Measures the actual wall-clock cost of exact path stress and sampled path
-stress on the representative graphs. The paper's point: the exact metric's
-quadratic cost is intractable at chromosome scale (estimated 194 GPU-hours
-for Chr.1), while the sampled metric stays linear; at our reduced scales the
-same super-linear vs linear gap must appear.
+The case body lives in :mod:`repro.bench.cases.table05_metric_runtime`. Run it directly
+with ``python benchmarks/bench_table05_metric_runtime.py``, through ``pytest
+benchmarks/bench_table05_metric_runtime.py``, or as part of ``repro bench run``.
 """
 from __future__ import annotations
 
-import time
-
 import pytest
 
-from repro.bench import format_table
-from repro.core import initialize_layout
-from repro.metrics import count_path_pairs, path_stress, sampled_path_stress
+from repro.bench.cases.table05_metric_runtime import run as case_run
+
+_CASE = case_run.case
 
 
-@pytest.mark.paper_table("Table V")
-def test_table05_metric_runtime(benchmark, representative_graphs):
-    layouts = {name: initialize_layout(g, seed=1) for name, g in representative_graphs.items()}
+@pytest.mark.paper_table(_CASE.source)
+def test_table05_metric_runtime(bench_ctx):
+    result = _CASE.run(bench_ctx)
+    for table in result.tables:
+        print()
+        print(table)
 
-    def time_metrics():
-        out = {}
-        for name, graph in representative_graphs.items():
-            layout = layouts[name]
-            t0 = time.perf_counter()
-            # Exact metric only where it is tractable (as in the paper, where
-            # the Chr.1 value is an estimate); cap at ~2e6 pairs here.
-            pairs = count_path_pairs(graph)
-            if pairs <= 2_000_000:
-                exact_value = path_stress(layout, graph)
-                exact_time = time.perf_counter() - t0
-            else:
-                exact_value, exact_time = None, None
-            t1 = time.perf_counter()
-            sampled = sampled_path_stress(layout, graph, samples_per_step=50, seed=0)
-            sampled_time = time.perf_counter() - t1
-            out[name] = (pairs, exact_value, exact_time, sampled.value, sampled_time)
-        return out
 
-    results = benchmark.pedantic(time_metrics, rounds=1, iterations=1)
+if __name__ == "__main__":
+    from repro.bench.runner import run_case
 
-    rows = []
-    for name, (pairs, exact_value, exact_time, sampled_value, sampled_time) in results.items():
-        rows.append([
-            name,
-            representative_graphs[name].n_nodes,
-            pairs,
-            f"{exact_time:.3g}s" if exact_time is not None else "(est. intractable)",
-            f"{sampled_time:.3g}s",
-            f"{exact_value:.3g}" if exact_value is not None else "-",
-            f"{sampled_value:.3g}",
-        ])
-
-    # The sampled metric must be far cheaper than the exact metric wherever
-    # both run, and must remain cheap on the largest graph.
-    hla = results["HLA-DRB1"]
-    assert hla[2] is not None
-    assert hla[4] < hla[2]
-    chr1 = results["Chr.1"]
-    assert chr1[4] < 30.0
-    # Sampled tracks exact to within the expected band where both exist. (The
-    # two estimators weight paths differently — per-pair vs per-sample — so
-    # only order-of-magnitude agreement is expected here; the linear
-    # correlation across layouts is checked by the Fig. 13 benchmark.)
-    if hla[1] is not None and hla[1] > 0:
-        assert 0.2 < hla[3] / hla[1] < 5.0
-
-    print()
-    print(format_table(
-        ["Pangenome", "#Nodes", "#Pairs", "Path stress RT", "Sampled RT",
-         "Path stress", "Sampled"],
-        rows,
-        title="Table V: run time of metric computation (exact vs sampled)",
-    ))
+    run_case(_CASE.name)

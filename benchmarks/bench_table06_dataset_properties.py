@@ -1,60 +1,27 @@
-"""Table VI — properties of the 24-chromosome human pangenome suite.
+"""Pytest shim for the table06_dataset_properties benchmark case.
 
-Computes the min / max / mean statistics of the synthetic chromosome suite
-and compares the intensive properties (average degree, sparsity) against the
-paper's full-scale values; extensive properties (node counts etc.) differ by
-the documented scale factor.
+The case body lives in :mod:`repro.bench.cases.table06_dataset_properties`. Run it directly
+with ``python benchmarks/bench_table06_dataset_properties.py``, through ``pytest
+benchmarks/bench_table06_dataset_properties.py``, or as part of ``repro bench run``.
 """
 from __future__ import annotations
 
 import pytest
 
-from repro.bench import format_sci, format_table
-from repro.graph import aggregate_stats, compute_stats
+from repro.bench.cases.table06_dataset_properties import run as case_run
 
-PAPER = {
-    "min": {"n_nucleotides": 8.8e7, "n_nodes": 3.2e5, "n_paths": 4.4e4 / 1e3, "avg_degree": 1.4,
-            "density": 1.3e-7},
-    "max": {"n_nucleotides": 1.1e9, "n_nodes": 1.1e7, "n_paths": 5.0e5 / 1e3, "avg_degree": 1.4,
-            "density": 4.4e-6},
-    "mean": {"n_nucleotides": 3.0e8, "n_nodes": 4.0e6, "n_paths": 2.3e5 / 1e3, "avg_degree": 1.4,
-             "density": 3.5e-7},
-}
+_CASE = case_run.case
 
 
-@pytest.mark.paper_table("Table VI")
-def test_table06_chromosome_suite_properties(benchmark, chromosome_graphs):
-    def collect():
-        stats = [compute_stats(g, name) for name, g in chromosome_graphs.items()]
-        return stats, aggregate_stats(stats)
+@pytest.mark.paper_table(_CASE.source)
+def test_table06_dataset_properties(bench_ctx):
+    result = _CASE.run(bench_ctx)
+    for table in result.tables:
+        print()
+        print(table)
 
-    stats, agg = benchmark.pedantic(collect, rounds=1, iterations=1)
 
-    rows = []
-    for label in ("min", "max", "mean"):
-        row = agg[label]
-        rows.append([
-            label,
-            format_sci(row["n_nucleotides"]), format_sci(PAPER[label]["n_nucleotides"]),
-            format_sci(row["n_nodes"]), format_sci(PAPER[label]["n_nodes"]),
-            int(row["n_paths"]),
-            f"{row['avg_degree']:.2f}", f"{PAPER[label]['avg_degree']:.1f}",
-            format_sci(row["density"]), format_sci(PAPER[label]["density"]),
-        ])
+if __name__ == "__main__":
+    from repro.bench.runner import run_case
 
-    assert len(stats) == 24
-    # Intensive properties must match the paper's regime: node degree around
-    # 1.4-2 and extreme sparsity, on every chromosome.
-    for st in stats:
-        assert 1.0 < st.avg_degree < 3.0
-        assert st.density < 1e-1
-    # The suite spans a wide size range with Chr.1-like the largest.
-    assert agg["max"]["n_nodes"] > 3 * agg["min"]["n_nodes"]
-
-    print()
-    print(format_table(
-        ["", "#Nuc", "#Nuc(paper)", "#Nodes", "#Nodes(paper)", "#Paths",
-         "deg", "deg(paper)", "density", "density(paper)"],
-        rows,
-        title="Table VI: 24-chromosome suite properties (scaled reproduction vs paper)",
-    ))
+    run_case(_CASE.name)

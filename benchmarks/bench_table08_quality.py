@@ -1,67 +1,27 @@
-"""Table VIII — layout quality comparison between CPU and GPU engines.
+"""Pytest shim for the table08_quality benchmark case.
 
-Runs the CPU baseline and the optimized GPU engine on a subset of the
-chromosome suite (every chromosome would take minutes; the subset spans the
-size range) from the same scrambled initial layout, computes the sampled path
-stress of both with 95% confidence intervals, and checks that the SPS ratio
-stays near 1 — the paper's geometric means are 1.08 (A6000) and 1.03 (A100).
+The case body lives in :mod:`repro.bench.cases.table08_quality`. Run it directly
+with ``python benchmarks/bench_table08_quality.py``, through ``pytest
+benchmarks/bench_table08_quality.py``, or as part of ``repro bench run``.
 """
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
-from repro.bench import format_table, geometric_mean
-from repro.core import CpuBaselineEngine, OptimizedGpuEngine
-from repro.core.layout import Layout
-from repro.metrics import sampled_path_stress, stress_ratio
+from repro.bench.cases.table08_quality import run as case_run
 
-SUBSET = ["Chr.1", "Chr.5", "Chr.10", "Chr.16", "Chr.19", "Chr.Y"]
+_CASE = case_run.case
 
 
-@pytest.mark.paper_table("Table VIII")
-def test_table08_layout_quality_ratio(benchmark, chromosome_graphs, quality_bench_params):
-    params = quality_bench_params
+@pytest.mark.paper_table(_CASE.source)
+def test_table08_quality(bench_ctx):
+    result = _CASE.run(bench_ctx)
+    for table in result.tables:
+        print()
+        print(table)
 
-    def run_all():
-        out = {}
-        for name in SUBSET:
-            graph = chromosome_graphs[name]
-            rng = np.random.default_rng(17)
-            scrambled = Layout(rng.uniform(0, 1000.0, size=(2 * graph.n_nodes, 2)))
-            cpu = CpuBaselineEngine(graph, params).run(initial=scrambled)
-            gpu = OptimizedGpuEngine(graph, params).run(initial=scrambled)
-            cpu_sps = sampled_path_stress(cpu.layout, graph, samples_per_step=30, seed=0)
-            gpu_sps = sampled_path_stress(gpu.layout, graph, samples_per_step=30, seed=0)
-            out[name] = (cpu_sps, gpu_sps)
-        return out
 
-    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+if __name__ == "__main__":
+    from repro.bench.runner import run_case
 
-    rows = []
-    ratios = []
-    for name, (cpu_sps, gpu_sps) in results.items():
-        ratio = stress_ratio(gpu_sps, cpu_sps)
-        ratios.append(max(ratio, 1e-3))
-        rows.append([
-            name,
-            f"[{cpu_sps.ci_low:.3g}, {cpu_sps.ci_high:.3g}]",
-            f"[{gpu_sps.ci_low:.3g}, {gpu_sps.ci_high:.3g}]",
-            f"{ratio:.2f}",
-        ])
-        # Per-chromosome: the GPU layout is never catastrophically worse (the
-        # paper's per-chromosome ratios range from 0.47 to 2.31).
-        assert ratio < 4.0
-
-    gm = geometric_mean(ratios)
-    rows.append(["GeoMean", "-", "-", f"{gm:.2f}"])
-    # Paper: geometric-mean SPS ratio 1.08 (A6000) / 1.03 (A100) — i.e. no
-    # quality loss on average. Allow a modest band at this reduced scale.
-    assert 0.4 < gm < 2.0
-
-    print()
-    print(format_table(
-        ["Pan.", "CPU SPS CI95%", "GPU SPS CI95%", "SPS ratio (GPU/CPU)"],
-        rows,
-        title="Table VIII: layout quality comparison, CPU vs optimized GPU engine",
-    ))
+    run_case(_CASE.name)

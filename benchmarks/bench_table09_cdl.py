@@ -1,69 +1,27 @@
-"""Table IX — effects of the cache-friendly data layout (CDL).
+"""Pytest shim for the table09_cdl benchmark case.
 
-Measures, on the Chr.1-like graph, the LLC loads/misses and run time of the
-CPU baseline with and without CDL, and the DRAM traffic and modelled run time
-of the GPU kernel with and without CDL. Paper anchors: 3.2x fewer LLC loads,
-3.3x fewer LLC misses, 3.1x CPU speedup; 1.3x less GPU DRAM traffic, 1.4x GPU
-speedup.
+The case body lives in :mod:`repro.bench.cases.table09_cdl`. Run it directly
+with ``python benchmarks/bench_table09_cdl.py``, through ``pytest
+benchmarks/bench_table09_cdl.py``, or as part of ``repro bench run``.
 """
 from __future__ import annotations
 
 import pytest
 
-from repro.bench import format_table
-from repro.core import GpuKernelConfig, OptimizedGpuEngine
-from repro.core.layout import NodeDataLayout
-from repro.gpusim import RTX_A6000, WorkloadCounters, XEON_6246R, cpu_runtime
-from repro.parallel import cpu_cache_profile
+from repro.bench.cases.table09_cdl import run as case_run
+
+_CASE = case_run.case
 
 
-@pytest.mark.paper_table("Table IX")
-def test_table09_cache_friendly_data_layout(benchmark, chr1_graph, bench_params):
-    graph = chr1_graph
-    params = bench_params
-    total_terms = float(params.iter_max * params.steps_per_iteration(graph.total_steps))
+@pytest.mark.paper_table(_CASE.source)
+def test_table09_cdl(bench_ctx):
+    result = _CASE.run(bench_ctx)
+    for table in result.tables:
+        print()
+        print(table)
 
-    def measure():
-        out = {}
-        for label, layout_kind in (("w/o CDL", NodeDataLayout.SOA), ("w/ CDL", NodeDataLayout.AOS)):
-            traffic, traced = cpu_cache_profile(graph, params, n_trace_terms=2048,
-                                                data_layout=layout_kind)
-            scaled = traffic.scaled(total_terms / traced)
-            cpu_time = cpu_runtime(XEON_6246R, total_terms, scaled,
-                                   WorkloadCounters(), n_threads=32)
-            gpu_cfg = GpuKernelConfig(cache_friendly_layout=(layout_kind == NodeDataLayout.AOS),
-                                      coalesced_random_states=False, warp_merging=False)
-            gpu_prof = OptimizedGpuEngine(graph, params, gpu_cfg).profile(
-                device=RTX_A6000, n_sample_terms=1536)
-            out[label] = (scaled, cpu_time, gpu_prof)
-        return out
 
-    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+if __name__ == "__main__":
+    from repro.bench.runner import run_case
 
-    without, with_cdl = results["w/o CDL"], results["w/ CDL"]
-    rows = [
-        ["CPU LLC loads", f"{without[0].llc_loads:.3g}", f"{with_cdl[0].llc_loads:.3g}",
-         f"{without[0].llc_loads / with_cdl[0].llc_loads:.2f}x", "3.2x"],
-        ["CPU LLC misses", f"{without[0].llc_load_misses:.3g}", f"{with_cdl[0].llc_load_misses:.3g}",
-         f"{without[0].llc_load_misses / max(with_cdl[0].llc_load_misses, 1):.2f}x", "3.3x"],
-        ["CPU run time (model, s)", f"{without[1].total_s:.3g}", f"{with_cdl[1].total_s:.3g}",
-         f"{without[1].total_s / with_cdl[1].total_s:.2f}x", "3.1x"],
-        ["GPU DRAM bytes", f"{without[2].traffic.dram_bytes:.3g}", f"{with_cdl[2].traffic.dram_bytes:.3g}",
-         f"{without[2].traffic.dram_bytes / with_cdl[2].traffic.dram_bytes:.2f}x", "1.3x"],
-        ["GPU run time (model, s)", f"{without[2].runtime_s:.3g}", f"{with_cdl[2].runtime_s:.3g}",
-         f"{without[2].runtime_s / with_cdl[2].runtime_s:.2f}x", "1.4x"],
-    ]
-
-    # Direction and rough magnitude of every effect.
-    assert with_cdl[0].llc_loads < without[0].llc_loads / 1.5
-    assert with_cdl[0].llc_load_misses < without[0].llc_load_misses
-    assert with_cdl[1].total_s < without[1].total_s
-    assert with_cdl[2].traffic.dram_bytes < without[2].traffic.dram_bytes
-    assert with_cdl[2].runtime_s < without[2].runtime_s
-
-    print()
-    print(format_table(
-        ["Metric", "w/o CDL", "w/ CDL", "Improvement", "Paper"],
-        rows,
-        title="Table IX: effects of the cache-friendly data layout (Chr.1-like)",
-    ))
+    run_case(_CASE.name)

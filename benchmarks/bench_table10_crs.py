@@ -1,62 +1,27 @@
-"""Table X — effects of coalesced random states (CRS).
+"""Pytest shim for the table10_crs benchmark case.
 
-Measures the sectors-per-request of the per-thread XORWOW state accesses and
-the modelled cache/DRAM traffic of the GPU kernel with the AoS (cuRAND
-default) versus SoA (coalesced) state layout. Paper anchors: 26.8 → 9.9 L1
-sectors per request, 1.8x less L1 traffic, 1.3x less DRAM traffic, 1.2x
-speedup.
+The case body lives in :mod:`repro.bench.cases.table10_crs`. Run it directly
+with ``python benchmarks/bench_table10_crs.py``, through ``pytest
+benchmarks/bench_table10_crs.py``, or as part of ``repro bench run``.
 """
 from __future__ import annotations
 
 import pytest
 
-from repro.bench import format_table
-from repro.core import GpuKernelConfig, OptimizedGpuEngine
-from repro.gpusim import RTX_A6000
+from repro.bench.cases.table10_crs import run as case_run
+
+_CASE = case_run.case
 
 
-@pytest.mark.paper_table("Table X")
-def test_table10_coalesced_random_states(benchmark, chr1_graph, bench_params):
-    graph = chr1_graph
-    params = bench_params
+@pytest.mark.paper_table(_CASE.source)
+def test_table10_crs(bench_ctx):
+    result = _CASE.run(bench_ctx)
+    for table in result.tables:
+        print()
+        print(table)
 
-    def measure():
-        out = {}
-        for label, crs in (("w/o CRS", False), ("w/ CRS", True)):
-            cfg = GpuKernelConfig(cache_friendly_layout=False,
-                                  coalesced_random_states=crs, warp_merging=False)
-            out[label] = OptimizedGpuEngine(graph, params, cfg).profile(
-                device=RTX_A6000, n_sample_terms=1536)
-        return out
 
-    results = benchmark.pedantic(measure, rounds=1, iterations=1)
-    without, with_crs = results["w/o CRS"], results["w/ CRS"]
+if __name__ == "__main__":
+    from repro.bench.runner import run_case
 
-    rows = [
-        ["RNG sectors / request", f"{without.rng_sectors_per_request:.1f}",
-         f"{with_crs.rng_sectors_per_request:.1f}",
-         f"{without.rng_sectors_per_request / with_crs.rng_sectors_per_request:.2f}x", "2.7x"],
-        ["L1 traffic (bytes)", f"{without.traffic.l1_bytes:.3g}", f"{with_crs.traffic.l1_bytes:.3g}",
-         f"{without.traffic.l1_bytes / with_crs.traffic.l1_bytes:.2f}x", "1.8x"],
-        ["L2 traffic (bytes)", f"{without.traffic.l2_bytes:.3g}", f"{with_crs.traffic.l2_bytes:.3g}",
-         f"{without.traffic.l2_bytes / max(with_crs.traffic.l2_bytes, 1):.2f}x", "1.7x"],
-        ["DRAM traffic (bytes)", f"{without.traffic.dram_bytes:.3g}", f"{with_crs.traffic.dram_bytes:.3g}",
-         f"{without.traffic.dram_bytes / max(with_crs.traffic.dram_bytes, 1):.2f}x", "1.3x"],
-        ["GPU run time (model, s)", f"{without.runtime_s:.3g}", f"{with_crs.runtime_s:.3g}",
-         f"{without.runtime_s / with_crs.runtime_s:.2f}x", "1.2x"],
-    ]
-
-    # Paper-shape assertions: the AoS state layout is badly uncoalesced (tens
-    # of sectors per warp request); SoA reaches the 4-sector ideal.
-    assert without.rng_sectors_per_request > 20.0
-    assert with_crs.rng_sectors_per_request < 6.0
-    assert with_crs.traffic.l1_bytes < without.traffic.l1_bytes
-    assert with_crs.traffic.dram_bytes <= without.traffic.dram_bytes * 1.05
-    assert with_crs.runtime_s < without.runtime_s
-
-    print()
-    print(format_table(
-        ["Metric", "w/o CRS", "w/ CRS", "Improvement", "Paper"],
-        rows,
-        title="Table X: effects of coalesced random states (Chr.1-like)",
-    ))
+    run_case(_CASE.name)

@@ -1,60 +1,27 @@
-"""Table XI — effects of warp merging (WM).
+"""Pytest shim for the table11_warp_merging benchmark case.
 
-Measures executed instructions and average active threads per warp of the GPU
-kernel with and without warp merging, plus the modelled run time. Paper
-anchors: 1.5x fewer executed instructions, average active threads 20.5 → 27.9,
-1.1x speedup.
+The case body lives in :mod:`repro.bench.cases.table11_warp_merging`. Run it directly
+with ``python benchmarks/bench_table11_warp_merging.py``, through ``pytest
+benchmarks/bench_table11_warp_merging.py``, or as part of ``repro bench run``.
 """
 from __future__ import annotations
 
 import pytest
 
-from repro.bench import format_table
-from repro.core import GpuKernelConfig, OptimizedGpuEngine
-from repro.gpusim import RTX_A6000
+from repro.bench.cases.table11_warp_merging import run as case_run
+
+_CASE = case_run.case
 
 
-@pytest.mark.paper_table("Table XI")
-def test_table11_warp_merging(benchmark, chr1_graph, bench_params):
-    graph = chr1_graph
-    params = bench_params
+@pytest.mark.paper_table(_CASE.source)
+def test_table11_warp_merging(bench_ctx):
+    result = _CASE.run(bench_ctx)
+    for table in result.tables:
+        print()
+        print(table)
 
-    def measure():
-        out = {}
-        for label, wm in (("w/o WM", False), ("w/ WM", True)):
-            cfg = GpuKernelConfig(cache_friendly_layout=False,
-                                  coalesced_random_states=False, warp_merging=wm)
-            out[label] = OptimizedGpuEngine(graph, params, cfg).profile(
-                device=RTX_A6000, n_sample_terms=2048)
-        return out
 
-    results = benchmark.pedantic(measure, rounds=1, iterations=1)
-    without, with_wm = results["w/o WM"], results["w/ WM"]
+if __name__ == "__main__":
+    from repro.bench.runner import run_case
 
-    rows = [
-        ["Executed instructions (sample)", without.warp_stats.executed_instructions,
-         with_wm.warp_stats.executed_instructions,
-         f"{without.warp_stats.executed_instructions / with_wm.warp_stats.executed_instructions:.2f}x",
-         "1.5x"],
-        ["Avg. active threads / warp", f"{without.warp_stats.avg_active_threads:.1f}",
-         f"{with_wm.warp_stats.avg_active_threads:.1f}",
-         f"{with_wm.warp_stats.avg_active_threads / without.warp_stats.avg_active_threads:.2f}x",
-         "1.4x (20.5 -> 27.9)"],
-        ["GPU run time (model, s)", f"{without.runtime_s:.3g}", f"{with_wm.runtime_s:.3g}",
-         f"{without.runtime_s / with_wm.runtime_s:.2f}x", "1.1x"],
-    ]
-
-    # Paper-shape assertions.
-    assert with_wm.warp_stats.avg_active_threads > without.warp_stats.avg_active_threads
-    assert without.warp_stats.avg_active_threads < 30.0
-    assert with_wm.warp_stats.avg_active_threads > 30.0
-    assert with_wm.warp_stats.executed_instructions < without.warp_stats.executed_instructions
-    assert with_wm.runtime_s < without.runtime_s
-    assert 1.02 < without.runtime_s / with_wm.runtime_s < 1.6
-
-    print()
-    print(format_table(
-        ["Metric", "w/o WM", "w/ WM", "Improvement", "Paper"],
-        rows,
-        title="Table XI: effects of warp merging (Chr.1-like)",
-    ))
+    run_case(_CASE.name)

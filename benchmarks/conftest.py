@@ -1,59 +1,49 @@
 """Shared fixtures for the benchmark harness.
 
-Every benchmark module reproduces one table or figure of the paper and prints
-its rows (paper value vs. reproduction value where applicable). The fixtures
-here hold the scaled datasets and layout parameters shared across benchmarks
-so the suite runs end-to-end on a single CPU core in minutes.
+Every benchmark module is a thin pytest shim over a case registered in
+:mod:`repro.bench.cases`. The only fixture the shims need is ``bench_ctx`` —
+a session-scoped :class:`repro.bench.context.BenchContext` carrying the
+cached datasets and the **single master seed** every stochastic choice is
+derived from. Override the seed with ``--bench-master-seed`` (or the
+``BENCH_MASTER_SEED`` environment variable) to replicate a run under
+different randomness; with the same seed, two sessions produce byte-identical
+metric values.
 """
 from __future__ import annotations
 
+import os
+
 import pytest
 
-from repro.core import LayoutParams
-from repro.synth import chr1_like, chromosome_suite, hla_drb1_like, mhc_like
+from repro.bench.context import DEFAULT_MASTER_SEED, BenchContext
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-master-seed",
+        default=None,
+        help="master seed threaded through every benchmark case "
+             f"(default: {DEFAULT_MASTER_SEED}, env: BENCH_MASTER_SEED)",
+    )
 
 
 def pytest_configure(config):
-    config.addinivalue_line("markers", "paper_table(id): which paper element a benchmark reproduces")
+    config.addinivalue_line(
+        "markers", "paper_table(id): which paper element a benchmark reproduces"
+    )
 
 
 @pytest.fixture(scope="session")
-def bench_params():
-    """Layout parameters used by the benchmark workloads (reduced schedule)."""
-    return LayoutParams(iter_max=10, steps_per_step_unit=2.0, seed=9399)
-
-
-@pytest.fixture(scope="session")
-def quality_bench_params():
-    """Stronger schedule used when layout quality (not speed) is measured."""
-    return LayoutParams(iter_max=20, steps_per_step_unit=4.0, seed=9399)
-
-
-@pytest.fixture(scope="session")
-def hla_graph():
-    """HLA-DRB1-like graph at reduced scale."""
-    return hla_drb1_like(scale=0.25)
-
-
-@pytest.fixture(scope="session")
-def mhc_graph():
-    """MHC-like graph at reduced scale."""
-    return mhc_like(scale=0.15)
-
-
-@pytest.fixture(scope="session")
-def chr1_graph():
-    """Chr.1-like graph at reduced scale."""
-    return chr1_like(scale=0.1)
-
-
-@pytest.fixture(scope="session")
-def representative_graphs(hla_graph, mhc_graph, chr1_graph):
-    """The three representative pangenomes of Table I (scaled)."""
-    return {"HLA-DRB1": hla_graph, "MHC": mhc_graph, "Chr.1": chr1_graph}
-
-
-@pytest.fixture(scope="session")
-def chromosome_graphs():
-    """The 24-chromosome suite (quick scale)."""
-    return chromosome_suite(scale=0.35, quick=True)
+def bench_ctx(request) -> BenchContext:
+    """The shared benchmark context (datasets + master-seeded randomness)."""
+    raw = request.config.getoption("--bench-master-seed")
+    if raw is None:
+        raw = os.environ.get("BENCH_MASTER_SEED", DEFAULT_MASTER_SEED)
+    try:
+        seed = int(raw)
+    except ValueError:
+        raise pytest.UsageError(
+            f"invalid benchmark master seed {raw!r} "
+            "(from --bench-master-seed or BENCH_MASTER_SEED)"
+        ) from None
+    return BenchContext(master_seed=seed)

@@ -1,4 +1,20 @@
-"""Benchmark-harness support: table formatting and the end-to-end performance model."""
+"""Benchmark subsystem: orchestration, result schema, regression gate.
+
+Layers:
+
+* :mod:`~repro.bench.tables` / :mod:`~repro.bench.perfmodel` — formatting
+  helpers and the end-to-end performance model (pre-existing).
+* :mod:`~repro.bench.registry` — ``BenchCase`` registry with decorator-based
+  registration and suite resolution (``smoke``/``figures``/``tables``/``all``).
+* :mod:`~repro.bench.context` — master-seeded datasets/parameters shared by
+  cases; the determinism backbone.
+* :mod:`~repro.bench.runner` — executes suites with warmup/repeat control and
+  writes versioned ``BENCH_<suite>.json`` documents.
+* :mod:`~repro.bench.schema` — the versioned result-file schema.
+* :mod:`~repro.bench.compare` — diffs two result files and gates regressions.
+* :mod:`~repro.bench.cases` — the built-in paper-reproduction and CI smoke
+  cases (imported lazily via :func:`load_builtin_cases`).
+"""
 from .tables import (
     format_table,
     format_markdown_table,
@@ -11,6 +27,37 @@ from .perfmodel import (
     evaluate_graph_performance,
     ablation_ladder,
 )
+from .registry import (
+    REGISTRY,
+    BenchCase,
+    BenchError,
+    BenchRegistry,
+    CaseResult,
+    DuplicateCaseError,
+    KNOWN_SUITES,
+    Metric,
+    UnknownCaseError,
+    UnknownSuiteError,
+    bench_case,
+    load_builtin_cases,
+)
+from .context import BenchContext, DEFAULT_MASTER_SEED
+from .schema import (
+    SCHEMA_VERSION,
+    SchemaError,
+    default_output_path,
+    load_results,
+    validate_results,
+    write_results,
+)
+from .compare import (
+    ComparisonReport,
+    MetricDelta,
+    compare_documents,
+    compare_files,
+    parse_threshold,
+)
+from .runner import SuiteRunError, run_case, run_suite
 
 __all__ = [
     "format_table",
@@ -21,4 +68,32 @@ __all__ = [
     "GraphPerformanceReport",
     "evaluate_graph_performance",
     "ablation_ladder",
+    "REGISTRY",
+    "BenchCase",
+    "BenchError",
+    "BenchRegistry",
+    "CaseResult",
+    "DuplicateCaseError",
+    "KNOWN_SUITES",
+    "Metric",
+    "UnknownCaseError",
+    "UnknownSuiteError",
+    "bench_case",
+    "load_builtin_cases",
+    "BenchContext",
+    "DEFAULT_MASTER_SEED",
+    "SCHEMA_VERSION",
+    "SchemaError",
+    "default_output_path",
+    "load_results",
+    "validate_results",
+    "write_results",
+    "ComparisonReport",
+    "MetricDelta",
+    "compare_documents",
+    "compare_files",
+    "parse_threshold",
+    "SuiteRunError",
+    "run_case",
+    "run_suite",
 ]

@@ -1,0 +1,49 @@
+"""Fig. 4 — thread scaling of the odgi-layout CPU baseline.
+
+Models the 1→32 thread run times of the three representative graphs from the
+measured cache profile of the actual workload (see DESIGN.md: only one
+physical core is available, so the scaling curve comes from the calibrated
+latency/bandwidth model).
+"""
+from __future__ import annotations
+
+from ...parallel import cpu_thread_scaling
+from ..registry import CaseResult, bench_case
+from ..tables import format_table
+
+THREADS = [1, 2, 4, 8, 16, 32]
+
+
+@bench_case("fig04_cpu_scaling", source="Fig. 4", suites=("figures",))
+def run(ctx) -> CaseResult:
+    """Near-linear CPU thread scaling on every representative graph."""
+    params = ctx.bench_params
+    results = {
+        name: cpu_thread_scaling(graph, name, params,
+                                 thread_counts=THREADS, n_trace_terms=1024)
+        for name, graph in ctx.representative_graphs.items()
+    }
+
+    out = CaseResult()
+    rows = []
+    for name, res in results.items():
+        speedups = res.speedup()
+        rows.append([name] + [f"{res.times_s[t]:.3g}s" for t in THREADS]
+                    + [f"{speedups[32]:.1f}x"])
+        # Fig. 4: near-linear scaling with threads on every graph.
+        assert speedups[2] > 1.6
+        assert speedups[8] > 5.0
+        assert speedups[32] > 12.0
+        out.add(f"{name}_time_1thr_s", res.times_s[1], unit="s(model)", direction="lower")
+        out.add(f"{name}_time_32thr_s", res.times_s[32], unit="s(model)", direction="lower")
+        out.add(f"{name}_speedup_32thr", speedups[32], unit="x", direction="higher")
+    # Larger graphs take longer at every thread count.
+    assert results["Chr.1"].times_s[32] > results["HLA-DRB1"].times_s[32]
+
+    out.graph_properties = ctx.graph_properties(ctx.chr1_graph)
+    out.tables.append(format_table(
+        ["Pangenome"] + [f"{t} thr" for t in THREADS] + ["speedup@32"],
+        rows,
+        title="Fig. 4: modelled odgi-layout run time vs thread count",
+    ))
+    return out

@@ -1,0 +1,66 @@
+"""Fig. 15 — scalability of CPU and GPU run time with total path length.
+
+The paper shows both the CPU baseline and the GPU implementation scaling
+linearly with total path length (the number of updates is proportional to
+Σ|p|). This case evaluates the performance model across the chromosome suite
+and fits the run-time-vs-path-length relationship.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from ..perfmodel import evaluate_graph_performance
+from ..registry import CaseResult, bench_case
+from ..tables import format_table
+
+
+@bench_case("fig15_scalability", source="Fig. 15", suites=("figures",))
+def run(ctx) -> CaseResult:
+    """CPU and GPU run times scale linearly with total path length."""
+    params = ctx.bench_params
+    points = []
+    for name, graph in ctx.chromosome_graphs.items():
+        report = evaluate_graph_performance(graph, name, params,
+                                            n_trace_terms=384, cpu_threads=32,
+                                            seed=ctx.seed_for("fig15/profile"))
+        points.append((name, graph.total_steps, report.cpu.total_s,
+                       report.gpu["A6000"].total_s))
+    points.sort(key=lambda p: p[1])
+
+    lengths = np.array([p[1] for p in points], dtype=float)
+    cpu_times = np.array([p[2] for p in points])
+    gpu_times = np.array([p[3] for p in points])
+
+    # Linear-fit quality (R^2) for run time vs total path length.
+    def r_squared(x, y):
+        coeffs = np.polyfit(x, y, 1)
+        pred = np.polyval(coeffs, x)
+        ss_res = np.sum((y - pred) ** 2)
+        ss_tot = np.sum((y - y.mean()) ** 2)
+        return 1 - ss_res / ss_tot, coeffs
+
+    cpu_r2, cpu_fit = r_squared(lengths, cpu_times)
+    gpu_r2, gpu_fit = r_squared(lengths, gpu_times)
+
+    rows = [[name, steps, f"{cpu_s:.3g}", f"{gpu_s:.3g}"]
+            for name, steps, cpu_s, gpu_s in points[:: max(1, len(points) // 12)]]
+    rows.append(["R^2 of linear fit", "-", f"{cpu_r2:.3f}", f"{gpu_r2:.3f}"])
+
+    # Fig. 15: both implementations scale linearly in total path length.
+    assert cpu_r2 > 0.85
+    assert gpu_r2 > 0.85
+    assert cpu_fit[0] > 0 and gpu_fit[0] > 0
+    # And the CPU is uniformly slower than the GPU.
+    assert np.all(cpu_times > gpu_times)
+
+    out = CaseResult()
+    out.add("cpu_fit_r2", float(cpu_r2), direction="higher")
+    out.add("gpu_fit_r2", float(gpu_r2), direction="higher")
+    out.add("cpu_total_s", float(cpu_times.sum()), unit="s(model)", direction="lower")
+    out.add("gpu_total_s", float(gpu_times.sum()), unit="s(model)", direction="lower")
+    out.tables.append(format_table(
+        ["Pangenome", "Total path steps", "CPU time (s)", "A6000 time (s)"],
+        rows,
+        title="Fig. 15: run time vs total path length (linear scaling)",
+    ))
+    return out

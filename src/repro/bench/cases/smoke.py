@@ -1,0 +1,166 @@
+"""CI smoke suite — the perf-regression gate.
+
+Five fast cases over tiny synthetic graphs (the whole suite runs in seconds,
+well under the 60 s budget) covering every layer a speed-oriented PR can
+touch: graph construction/statistics, the CPU baseline engine, the optimized
+GPU kernel model, the ablation ladder, and the quality metrics. Each case
+records deterministic modelled times (direction ``lower``) and speedups
+(direction ``higher``) so ``repro bench compare`` can reject regressions
+against the committed baseline in ``benchmarks/baselines/``.
+"""
+from __future__ import annotations
+
+from ...core import CpuBaselineEngine
+from ...core.layout import Layout
+from ...gpusim import WorkloadCounters, XEON_6246R, cpu_runtime
+from ...graph import compute_stats
+from ...metrics import count_path_pairs, path_stress, sampled_path_stress
+from ...parallel import cpu_cache_profile
+from ..perfmodel import ablation_ladder, evaluate_graph_performance
+from ..registry import CaseResult, bench_case
+from ..tables import format_table
+
+
+@bench_case("smoke_graph_stats", source="Table I (smoke)", suites=("smoke",))
+def run_graph_stats(ctx) -> CaseResult:
+    """Tiny-graph construction and statistics stay sane."""
+    out = CaseResult()
+    rows = []
+    for name, graph in (("HLA-DRB1@0.05", ctx.smoke_graph),
+                        ("MHC@0.03", ctx.smoke_graph_mhc)):
+        st = compute_stats(graph, name)
+        assert st.avg_degree < 4.0
+        assert st.density < 0.1
+        assert graph.total_steps > graph.n_nodes
+        key = name.split("@")[0].lower().replace("-", "_")
+        out.add(f"{key}_n_nodes", st.n_nodes, direction="info")
+        out.add(f"{key}_total_steps", graph.total_steps, direction="info")
+        out.add(f"{key}_avg_degree", st.avg_degree, direction="info")
+        rows.append([name, st.n_nodes, graph.n_paths, graph.total_steps,
+                     f"{st.avg_degree:.2f}"])
+    out.graph_properties = ctx.graph_properties(ctx.smoke_graph)
+    out.tables.append(format_table(
+        ["Graph", "#Nodes", "#Paths", "#Steps", "deg"], rows,
+        title="Smoke: synthetic graph statistics",
+    ))
+    return out
+
+
+@bench_case("smoke_layout_cpu", source="Alg. 1 (smoke)", suites=("smoke",))
+def run_layout_cpu(ctx) -> CaseResult:
+    """CPU baseline layout improves a scrambled layout; modelled time is gated."""
+    graph = ctx.smoke_graph
+    params = ctx.smoke_params
+    rng = ctx.rng("smoke_cpu/scramble")
+    scrambled = Layout(rng.uniform(0, 500.0, size=(2 * graph.n_nodes, 2)))
+    sps_seed = ctx.seed_for("smoke_cpu/sps")
+
+    before = sampled_path_stress(scrambled, graph, samples_per_step=20, seed=sps_seed)
+    result = CpuBaselineEngine(graph, params).run(initial=scrambled)
+    after = sampled_path_stress(result.layout, graph, samples_per_step=20, seed=sps_seed)
+    assert after.value < before.value
+
+    traffic, traced = cpu_cache_profile(graph, params, n_trace_terms=512,
+                                        seed=ctx.seed_for("smoke_cpu/profile"))
+    total_terms = float(params.iter_max * params.steps_per_iteration(graph.total_steps))
+    modelled = cpu_runtime(XEON_6246R, total_terms, traffic.scaled(total_terms / traced),
+                           WorkloadCounters(), n_threads=32)
+
+    out = CaseResult(graph_properties=ctx.graph_properties(graph))
+    out.add("stress_before", before.value, direction="info")
+    out.add("stress_after", after.value, direction="lower")
+    out.add("stress_improvement", before.value / max(after.value, 1e-9),
+            unit="x", direction="higher")
+    out.add("cpu_modelled_s", modelled.total_s, unit="s(model)", direction="lower")
+    out.add("total_terms", result.total_terms, direction="info")
+    out.tables.append(format_table(
+        ["Metric", "Value"],
+        [["stress before", f"{before.value:.4g}"],
+         ["stress after", f"{after.value:.4g}"],
+         ["modelled CPU time", f"{modelled.total_s:.4g}s"]],
+        title="Smoke: CPU baseline layout",
+    ))
+    return out
+
+
+@bench_case("smoke_layout_gpu_model", source="Sec. V (smoke)", suites=("smoke",))
+def run_layout_gpu_model(ctx) -> CaseResult:
+    """Optimized GPU kernel model: speedup over the CPU baseline is gated."""
+    graph = ctx.smoke_graph
+    params = ctx.smoke_params
+    report = evaluate_graph_performance(
+        graph, "smoke", params, n_trace_terms=256, cpu_threads=32,
+        seed=ctx.seed_for("smoke_gpu/profile"),
+    )
+    s_a6000 = report.speedup("A6000")
+    s_a100 = report.speedup("A100")
+    assert s_a6000 > 1.0
+    assert s_a100 > s_a6000
+
+    out = CaseResult(graph_properties=ctx.graph_properties(graph))
+    out.add("cpu_modelled_s", report.cpu.total_s, unit="s(model)", direction="lower")
+    out.add("a6000_modelled_s", report.gpu["A6000"].total_s, unit="s(model)",
+            direction="lower")
+    out.add("a100_modelled_s", report.gpu["A100"].total_s, unit="s(model)",
+            direction="lower")
+    out.add("a6000_speedup", s_a6000, unit="x", direction="higher")
+    out.add("a100_speedup", s_a100, unit="x", direction="higher")
+    out.tables.append(format_table(
+        ["Device", "Modelled time (s)", "Speedup"],
+        [["CPU (32 thr)", f"{report.cpu.total_s:.4g}", "1.0x"],
+         ["A6000", f"{report.gpu['A6000'].total_s:.4g}", f"{s_a6000:.1f}x"],
+         ["A100", f"{report.gpu['A100'].total_s:.4g}", f"{s_a100:.1f}x"]],
+        title="Smoke: modelled GPU speedup",
+    ))
+    return out
+
+
+@bench_case("smoke_ablation", source="Fig. 16 (smoke)", suites=("smoke",))
+def run_ablation(ctx) -> CaseResult:
+    """Mini ablation ladder: every optimisation stage keeps paying off."""
+    ladder = ablation_ladder(ctx.smoke_graph, ctx.smoke_params, n_trace_terms=256,
+                             seed=ctx.seed_for("smoke_ablation/profile"))
+    base = ladder["cpu-baseline"]
+    full = ladder["gpu+cdl+crs+wm"]
+    assert full < ladder["gpu-base"] < base
+
+    out = CaseResult(graph_properties=ctx.graph_properties(ctx.smoke_graph))
+    out.add("cpu_baseline_s", base, unit="s(model)", direction="lower")
+    out.add("gpu_base_s", ladder["gpu-base"], unit="s(model)", direction="lower")
+    out.add("gpu_full_s", full, unit="s(model)", direction="lower")
+    out.add("full_ladder_speedup", base / full, unit="x", direction="higher")
+    out.tables.append(format_table(
+        ["Stage", "Modelled time (s)"],
+        [[stage, f"{seconds:.4g}"] for stage, seconds in ladder.items()],
+        title="Smoke: optimisation ladder",
+    ))
+    return out
+
+
+@bench_case("smoke_quality_metrics", source="Fig. 13 (smoke)", suites=("smoke",))
+def run_quality_metrics(ctx) -> CaseResult:
+    """Exact and sampled path stress agree on a tiny graph."""
+    graph = ctx.smoke_graph_mhc
+    rng = ctx.rng("smoke_quality/scramble")
+    layout = Layout(rng.uniform(0, 200.0, size=(2 * graph.n_nodes, 2)))
+
+    pairs = count_path_pairs(graph)
+    exact = path_stress(layout, graph, max_pairs=3_000_000)
+    sampled = sampled_path_stress(layout, graph, samples_per_step=40,
+                                  seed=ctx.seed_for("smoke_quality/sps"))
+    assert exact > 0
+    assert sampled.value > 0
+    assert 0.1 < sampled.value / exact < 10.0
+
+    out = CaseResult(graph_properties=ctx.graph_properties(graph))
+    out.add("path_pairs", pairs, direction="info")
+    out.add("exact_stress", exact, direction="info")
+    out.add("sampled_stress", sampled.value, direction="info")
+    out.add("sampled_to_exact_ratio", sampled.value / exact, direction="info")
+    out.tables.append(format_table(
+        ["Metric", "Value"],
+        [["path pairs", pairs], ["exact stress", f"{exact:.4g}"],
+         ["sampled stress", f"{sampled.value:.4g}"]],
+        title="Smoke: quality metrics",
+    ))
+    return out

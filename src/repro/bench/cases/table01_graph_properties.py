@@ -1,0 +1,46 @@
+"""Table I — properties of the representative pangenomes.
+
+Prints nucleotides / nodes / edges / paths for the HLA-DRB1-, MHC- and
+Chr.1-like synthetic graphs next to the paper's full-scale values.
+"""
+from __future__ import annotations
+
+from ...graph import compute_stats
+from ...synth import REPRESENTATIVE_SPECS
+from ..registry import CaseResult, bench_case
+from ..tables import format_sci, format_table
+
+
+@bench_case("table01_graph_properties", source="Table I", suites=("tables",))
+def run(ctx) -> CaseResult:
+    """Representative graphs keep the paper's size ordering and sparsity."""
+    stats = {name: compute_stats(g, name) for name, g in ctx.representative_graphs.items()}
+
+    out = CaseResult()
+    rows = []
+    for name, st in stats.items():
+        paper = REPRESENTATIVE_SPECS[name].paper
+        rows.append([
+            name,
+            format_sci(st.n_nucleotides), format_sci(paper.n_nucleotides),
+            format_sci(st.n_nodes), format_sci(paper.n_nodes),
+            format_sci(st.n_edges), format_sci(paper.n_edges),
+            st.n_paths, int(paper.n_paths),
+            round(st.avg_degree, 2),
+        ])
+        # The representative graphs must keep the paper's size ordering and
+        # sparsity even at reduced scale.
+        assert st.avg_degree < 4.0
+        assert st.density < 0.05
+        out.add(f"{name}_n_nodes", st.n_nodes, direction="info")
+        out.add(f"{name}_avg_degree", st.avg_degree, direction="info")
+    assert stats["HLA-DRB1"].n_nucleotides < stats["MHC"].n_nucleotides < stats["Chr.1"].n_nucleotides
+    assert stats["HLA-DRB1"].n_nodes < stats["Chr.1"].n_nodes
+
+    out.tables.append(format_table(
+        ["Pangenome", "#Nuc", "#Nuc(paper)", "#Nodes", "#Nodes(paper)",
+         "#Edges", "#Edges(paper)", "#Paths", "#Paths(paper)", "deg"],
+        rows,
+        title="Table I: properties of representative pangenomes (scaled reproduction vs paper)",
+    ))
+    return out

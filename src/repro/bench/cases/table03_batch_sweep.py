@@ -1,0 +1,93 @@
+"""Table III — batch-size sweep of the PyTorch-style implementation.
+
+Sweeps the batched engine's batch size on the MHC-like graph, measuring
+(1) the modelled GPU run time / speedup over the modelled 32-thread CPU
+baseline and (2) the layout quality band derived from sampled path stress
+relative to the CPU baseline layout. The paper's shape: run time falls as the
+batch grows, speedup saturates around 1M, and very large batches degrade
+quality from Good to Satisfying/Poor.
+"""
+from __future__ import annotations
+
+from ...core import BatchedLayoutEngine, CpuBaselineEngine
+from ...core.layout import Layout
+from ...gpusim import RTX_A6000, WorkloadCounters, XEON_6246R, cpu_runtime, gpu_runtime
+from ...metrics import classify_quality, sampled_path_stress
+from ...parallel import cpu_cache_profile
+from ..registry import CaseResult, bench_case
+from ..tables import format_table
+
+# Batch sizes scaled down with the dataset (paper: 10K .. 100M on 2.3e5 nodes).
+BATCH_SIZES = [64, 512, 4096, 32768]
+
+
+@bench_case("table03_batch_sweep", source="Table III", suites=("tables",))
+def run(ctx) -> CaseResult:
+    """Batched-engine run time amortises with batch size; huge batches cost quality."""
+    graph = ctx.mhc_graph
+    params = ctx.quality_bench_params
+    rng = ctx.rng("table03/scramble")
+    scrambled = Layout(rng.uniform(0, 1000.0, size=(2 * graph.n_nodes, 2)))
+    sps_seed = ctx.seed_for("table03/sps")
+
+    # Reference: CPU baseline layout quality and modelled run time.
+    cpu_result = CpuBaselineEngine(graph, params).run(initial=scrambled)
+    cpu_sps = sampled_path_stress(cpu_result.layout, graph, samples_per_step=25,
+                                  seed=sps_seed)
+    traffic, traced = cpu_cache_profile(graph, params, n_trace_terms=1024)
+    total_terms = float(params.iter_max * params.steps_per_iteration(graph.total_steps))
+    cpu_time = cpu_runtime(
+        XEON_6246R, total_terms, traffic.scaled(total_terms / traced),
+        WorkloadCounters(), n_threads=32,
+    )
+
+    results = {}
+    for batch_size in BATCH_SIZES:
+        engine = BatchedLayoutEngine(graph, params.with_(batch_size=batch_size))
+        result = engine.run(initial=scrambled)
+        sps = sampled_path_stress(result.layout, graph, samples_per_step=25,
+                                  seed=sps_seed)
+        modelled = gpu_runtime(
+            RTX_A6000,
+            n_terms=total_terms,
+            traffic=traffic.scaled(total_terms / traced),
+            kernel_launches=engine.kernel_launches_for(int(total_terms)),
+            sectors_per_request=24.0,
+        )
+        results[batch_size] = (modelled.total_s, sps, engine.op_profile.total_launches)
+
+    out = CaseResult(graph_properties=ctx.graph_properties(graph))
+    rows = []
+    times = []
+    for batch_size, (gpu_s, sps, launches) in results.items():
+        quality = classify_quality(sps.value, max(cpu_sps.value, 1e-9))
+        speedup = cpu_time.total_s / gpu_s
+        times.append(gpu_s)
+        rows.append([batch_size, f"{gpu_s:.3g}", f"{speedup:.1f}x",
+                     f"{sps.value:.3g}", quality.value, launches])
+    # Run time decreases (then flattens) as the batch size grows, because the
+    # kernel-launch overhead amortises — the Table III / Table IV shape.
+    assert times[0] > times[-1]
+    assert times[1] >= times[2] * 0.9
+    # Small/medium batches preserve quality relative to the CPU layout.
+    small_quality = classify_quality(results[BATCH_SIZES[0]][1].value,
+                                     max(cpu_sps.value, 1e-9))
+    assert small_quality.value in ("Good", "Satisfying")
+    # Larger batches never improve quality below the small-batch stress.
+    assert results[BATCH_SIZES[-1]][1].value >= results[BATCH_SIZES[0]][1].value * 0.5
+
+    out.add("cpu_modelled_s", cpu_time.total_s, unit="s(model)", direction="lower")
+    out.add("gpu_modelled_smallest_batch_s", times[0], unit="s(model)", direction="lower")
+    out.add("gpu_modelled_largest_batch_s", times[-1], unit="s(model)", direction="lower")
+    out.add("largest_batch_speedup", cpu_time.total_s / times[-1],
+            unit="x", direction="higher")
+    out.add("launch_amortisation", times[0] / times[-1], unit="x", direction="info")
+
+    out.tables.append(format_table(
+        ["Batch size", "Modelled GPU s", "Speedup vs CPU", "Sampled stress", "Quality",
+         "Kernel launches"],
+        rows,
+        title=f"Table III: batch-size sweep on MHC-like graph (CPU stress {cpu_sps.value:.3g}, "
+              f"modelled CPU {cpu_time.total_s:.3g}s)",
+    ))
+    return out

@@ -1,0 +1,63 @@
+"""Table VI — properties of the 24-chromosome human pangenome suite.
+
+Computes the min / max / mean statistics of the synthetic chromosome suite
+and compares the intensive properties (average degree, sparsity) against the
+paper's full-scale values; extensive properties (node counts etc.) differ by
+the documented scale factor.
+"""
+from __future__ import annotations
+
+from ...graph import aggregate_stats, compute_stats
+from ..registry import CaseResult, bench_case
+from ..tables import format_sci, format_table
+
+PAPER = {
+    "min": {"n_nucleotides": 8.8e7, "n_nodes": 3.2e5, "n_paths": 4.4e4 / 1e3, "avg_degree": 1.4,
+            "density": 1.3e-7},
+    "max": {"n_nucleotides": 1.1e9, "n_nodes": 1.1e7, "n_paths": 5.0e5 / 1e3, "avg_degree": 1.4,
+            "density": 4.4e-6},
+    "mean": {"n_nucleotides": 3.0e8, "n_nodes": 4.0e6, "n_paths": 2.3e5 / 1e3, "avg_degree": 1.4,
+             "density": 3.5e-7},
+}
+
+
+@bench_case("table06_dataset_properties", source="Table VI", suites=("tables",))
+def run(ctx) -> CaseResult:
+    """Chromosome suite matches the paper's intensive properties at scale."""
+    stats = [compute_stats(g, name) for name, g in ctx.chromosome_graphs.items()]
+    agg = aggregate_stats(stats)
+
+    rows = []
+    for label in ("min", "max", "mean"):
+        row = agg[label]
+        rows.append([
+            label,
+            format_sci(row["n_nucleotides"]), format_sci(PAPER[label]["n_nucleotides"]),
+            format_sci(row["n_nodes"]), format_sci(PAPER[label]["n_nodes"]),
+            int(row["n_paths"]),
+            f"{row['avg_degree']:.2f}", f"{PAPER[label]['avg_degree']:.1f}",
+            format_sci(row["density"]), format_sci(PAPER[label]["density"]),
+        ])
+
+    assert len(stats) == 24
+    # Intensive properties must match the paper's regime: node degree around
+    # 1.4-2 and extreme sparsity, on every chromosome.
+    for st in stats:
+        assert 1.0 < st.avg_degree < 3.0
+        assert st.density < 1e-1
+    # The suite spans a wide size range with Chr.1-like the largest.
+    assert agg["max"]["n_nodes"] > 3 * agg["min"]["n_nodes"]
+
+    out = CaseResult()
+    out.add("n_chromosomes", len(stats), direction="info")
+    out.add("mean_avg_degree", agg["mean"]["avg_degree"], direction="info")
+    out.add("max_n_nodes", agg["max"]["n_nodes"], direction="info")
+    out.add("min_n_nodes", agg["min"]["n_nodes"], direction="info")
+
+    out.tables.append(format_table(
+        ["", "#Nuc", "#Nuc(paper)", "#Nodes", "#Nodes(paper)", "#Paths",
+         "deg", "deg(paper)", "density", "density(paper)"],
+        rows,
+        title="Table VI: 24-chromosome suite properties (scaled reproduction vs paper)",
+    ))
+    return out

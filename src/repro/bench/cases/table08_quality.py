@@ -1,0 +1,66 @@
+"""Table VIII — layout quality comparison between CPU and GPU engines.
+
+Runs the CPU baseline and the optimized GPU engine on a subset of the
+chromosome suite (every chromosome would take minutes; the subset spans the
+size range) from the same scrambled initial layout, computes the sampled path
+stress of both with 95% confidence intervals, and checks that the SPS ratio
+stays near 1 — the paper's geometric means are 1.08 (A6000) and 1.03 (A100).
+"""
+from __future__ import annotations
+
+from ...core import CpuBaselineEngine, OptimizedGpuEngine
+from ...core.layout import Layout
+from ...metrics import sampled_path_stress, stress_ratio
+from ..registry import CaseResult, bench_case
+from ..tables import format_table, geometric_mean
+
+SUBSET = ["Chr.1", "Chr.5", "Chr.10", "Chr.16", "Chr.19", "Chr.Y"]
+
+
+@bench_case("table08_quality", source="Table VIII", suites=("tables",))
+def run(ctx) -> CaseResult:
+    """GPU layouts match CPU layout quality (SPS ratio near 1)."""
+    params = ctx.quality_bench_params
+    sps_seed = ctx.seed_for("table08/sps")
+
+    results = {}
+    for name in SUBSET:
+        graph = ctx.chromosome_graphs[name]
+        rng = ctx.rng(f"table08/scramble/{name}")
+        scrambled = Layout(rng.uniform(0, 1000.0, size=(2 * graph.n_nodes, 2)))
+        cpu = CpuBaselineEngine(graph, params).run(initial=scrambled)
+        gpu = OptimizedGpuEngine(graph, params).run(initial=scrambled)
+        cpu_sps = sampled_path_stress(cpu.layout, graph, samples_per_step=30, seed=sps_seed)
+        gpu_sps = sampled_path_stress(gpu.layout, graph, samples_per_step=30, seed=sps_seed)
+        results[name] = (cpu_sps, gpu_sps)
+
+    rows = []
+    ratios = []
+    out = CaseResult()
+    for name, (cpu_sps, gpu_sps) in results.items():
+        ratio = stress_ratio(gpu_sps, cpu_sps)
+        ratios.append(max(ratio, 1e-3))
+        rows.append([
+            name,
+            f"[{cpu_sps.ci_low:.3g}, {cpu_sps.ci_high:.3g}]",
+            f"[{gpu_sps.ci_low:.3g}, {gpu_sps.ci_high:.3g}]",
+            f"{ratio:.2f}",
+        ])
+        # Per-chromosome: the GPU layout is never catastrophically worse (the
+        # paper's per-chromosome ratios range from 0.47 to 2.31).
+        assert ratio < 4.0
+        out.add(f"{name.replace('.', '_')}_sps_ratio", ratio, direction="info")
+
+    gm = geometric_mean(ratios)
+    rows.append(["GeoMean", "-", "-", f"{gm:.2f}"])
+    # Paper: geometric-mean SPS ratio 1.08 (A6000) / 1.03 (A100) — i.e. no
+    # quality loss on average. Allow a modest band at this reduced scale.
+    assert 0.4 < gm < 2.0
+    out.add("geomean_sps_ratio", gm, direction="lower")
+
+    out.tables.append(format_table(
+        ["Pan.", "CPU SPS CI95%", "GPU SPS CI95%", "SPS ratio (GPU/CPU)"],
+        rows,
+        title="Table VIII: layout quality comparison, CPU vs optimized GPU engine",
+    ))
+    return out

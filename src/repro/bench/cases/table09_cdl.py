@@ -1,0 +1,79 @@
+"""Table IX — effects of the cache-friendly data layout (CDL).
+
+Measures, on the Chr.1-like graph, the LLC loads/misses and run time of the
+CPU baseline with and without CDL, and the DRAM traffic and modelled run time
+of the GPU kernel with and without CDL. Paper anchors: 3.2x fewer LLC loads,
+3.3x fewer LLC misses, 3.1x CPU speedup; 1.3x less GPU DRAM traffic, 1.4x GPU
+speedup.
+"""
+from __future__ import annotations
+
+from ...core import GpuKernelConfig, OptimizedGpuEngine
+from ...core.layout import NodeDataLayout
+from ...gpusim import RTX_A6000, WorkloadCounters, XEON_6246R, cpu_runtime
+from ...parallel import cpu_cache_profile
+from ..registry import CaseResult, bench_case
+from ..tables import format_table
+
+
+@bench_case("table09_cdl", source="Table IX", suites=("tables",))
+def run(ctx) -> CaseResult:
+    """Cache-friendly data layout cuts LLC traffic and run time on CPU and GPU."""
+    graph = ctx.chr1_graph
+    params = ctx.bench_params
+    seed = ctx.seed_for("table09/profile")
+    total_terms = float(params.iter_max * params.steps_per_iteration(graph.total_steps))
+
+    results = {}
+    for label, layout_kind in (("w/o CDL", NodeDataLayout.SOA), ("w/ CDL", NodeDataLayout.AOS)):
+        traffic, traced = cpu_cache_profile(graph, params, n_trace_terms=2048,
+                                            seed=seed, data_layout=layout_kind)
+        scaled = traffic.scaled(total_terms / traced)
+        cpu_time = cpu_runtime(XEON_6246R, total_terms, scaled,
+                               WorkloadCounters(), n_threads=32)
+        gpu_cfg = GpuKernelConfig(cache_friendly_layout=(layout_kind == NodeDataLayout.AOS),
+                                  coalesced_random_states=False, warp_merging=False)
+        gpu_prof = OptimizedGpuEngine(graph, params, gpu_cfg).profile(
+            device=RTX_A6000, n_sample_terms=1536, seed=seed)
+        results[label] = (scaled, cpu_time, gpu_prof)
+
+    without, with_cdl = results["w/o CDL"], results["w/ CDL"]
+    rows = [
+        ["CPU LLC loads", f"{without[0].llc_loads:.3g}", f"{with_cdl[0].llc_loads:.3g}",
+         f"{without[0].llc_loads / with_cdl[0].llc_loads:.2f}x", "3.2x"],
+        ["CPU LLC misses", f"{without[0].llc_load_misses:.3g}", f"{with_cdl[0].llc_load_misses:.3g}",
+         f"{without[0].llc_load_misses / max(with_cdl[0].llc_load_misses, 1):.2f}x", "3.3x"],
+        ["CPU run time (model, s)", f"{without[1].total_s:.3g}", f"{with_cdl[1].total_s:.3g}",
+         f"{without[1].total_s / with_cdl[1].total_s:.2f}x", "3.1x"],
+        ["GPU DRAM bytes", f"{without[2].traffic.dram_bytes:.3g}", f"{with_cdl[2].traffic.dram_bytes:.3g}",
+         f"{without[2].traffic.dram_bytes / with_cdl[2].traffic.dram_bytes:.2f}x", "1.3x"],
+        ["GPU run time (model, s)", f"{without[2].runtime_s:.3g}", f"{with_cdl[2].runtime_s:.3g}",
+         f"{without[2].runtime_s / with_cdl[2].runtime_s:.2f}x", "1.4x"],
+    ]
+
+    # Direction and rough magnitude of every effect.
+    assert with_cdl[0].llc_loads < without[0].llc_loads / 1.5
+    assert with_cdl[0].llc_load_misses < without[0].llc_load_misses
+    assert with_cdl[1].total_s < without[1].total_s
+    assert with_cdl[2].traffic.dram_bytes < without[2].traffic.dram_bytes
+    assert with_cdl[2].runtime_s < without[2].runtime_s
+
+    out = CaseResult(graph_properties=ctx.graph_properties(graph))
+    out.add("cpu_llc_load_improvement", without[0].llc_loads / with_cdl[0].llc_loads,
+            unit="x", direction="higher")
+    out.add("cpu_speedup", without[1].total_s / with_cdl[1].total_s,
+            unit="x", direction="higher")
+    out.add("gpu_dram_improvement",
+            without[2].traffic.dram_bytes / with_cdl[2].traffic.dram_bytes,
+            unit="x", direction="higher")
+    out.add("gpu_speedup", without[2].runtime_s / with_cdl[2].runtime_s,
+            unit="x", direction="higher")
+    out.add("cpu_time_with_cdl_s", with_cdl[1].total_s, unit="s(model)", direction="lower")
+    out.add("gpu_time_with_cdl_s", with_cdl[2].runtime_s, unit="s(model)", direction="lower")
+
+    out.tables.append(format_table(
+        ["Metric", "w/o CDL", "w/ CDL", "Improvement", "Paper"],
+        rows,
+        title="Table IX: effects of the cache-friendly data layout (Chr.1-like)",
+    ))
+    return out

@@ -1,0 +1,70 @@
+"""Table XI — effects of warp merging (WM).
+
+Measures executed instructions and average active threads per warp of the GPU
+kernel with and without warp merging, plus the modelled run time. Paper
+anchors: 1.5x fewer executed instructions, average active threads 20.5 → 27.9,
+1.1x speedup.
+"""
+from __future__ import annotations
+
+from ...core import GpuKernelConfig, OptimizedGpuEngine
+from ...gpusim import RTX_A6000
+from ..registry import CaseResult, bench_case
+from ..tables import format_table
+
+
+@bench_case("table11_warp_merging", source="Table XI", suites=("tables",))
+def run(ctx) -> CaseResult:
+    """Warp merging raises active threads per warp and cuts instructions."""
+    graph = ctx.chr1_graph
+    params = ctx.bench_params
+    seed = ctx.seed_for("table11/profile")
+
+    results = {}
+    for label, wm in (("w/o WM", False), ("w/ WM", True)):
+        cfg = GpuKernelConfig(cache_friendly_layout=False,
+                              coalesced_random_states=False, warp_merging=wm)
+        results[label] = OptimizedGpuEngine(graph, params, cfg).profile(
+            device=RTX_A6000, n_sample_terms=2048, seed=seed)
+    without, with_wm = results["w/o WM"], results["w/ WM"]
+
+    rows = [
+        ["Executed instructions (sample)", without.warp_stats.executed_instructions,
+         with_wm.warp_stats.executed_instructions,
+         f"{without.warp_stats.executed_instructions / with_wm.warp_stats.executed_instructions:.2f}x",
+         "1.5x"],
+        ["Avg. active threads / warp", f"{without.warp_stats.avg_active_threads:.1f}",
+         f"{with_wm.warp_stats.avg_active_threads:.1f}",
+         f"{with_wm.warp_stats.avg_active_threads / without.warp_stats.avg_active_threads:.2f}x",
+         "1.4x (20.5 -> 27.9)"],
+        ["GPU run time (model, s)", f"{without.runtime_s:.3g}", f"{with_wm.runtime_s:.3g}",
+         f"{without.runtime_s / with_wm.runtime_s:.2f}x", "1.1x"],
+    ]
+
+    # Paper-shape assertions.
+    assert with_wm.warp_stats.avg_active_threads > without.warp_stats.avg_active_threads
+    assert without.warp_stats.avg_active_threads < 30.0
+    assert with_wm.warp_stats.avg_active_threads > 30.0
+    assert with_wm.warp_stats.executed_instructions < without.warp_stats.executed_instructions
+    assert with_wm.runtime_s < without.runtime_s
+    assert 1.02 < without.runtime_s / with_wm.runtime_s < 1.6
+
+    out = CaseResult(graph_properties=ctx.graph_properties(graph))
+    out.add("active_threads_without_wm", without.warp_stats.avg_active_threads,
+            direction="info")
+    out.add("active_threads_with_wm", with_wm.warp_stats.avg_active_threads,
+            direction="higher")
+    out.add("instruction_improvement",
+            without.warp_stats.executed_instructions
+            / with_wm.warp_stats.executed_instructions,
+            unit="x", direction="higher")
+    out.add("wm_speedup", without.runtime_s / with_wm.runtime_s,
+            unit="x", direction="higher")
+    out.add("gpu_time_with_wm_s", with_wm.runtime_s, unit="s(model)", direction="lower")
+
+    out.tables.append(format_table(
+        ["Metric", "w/o WM", "w/ WM", "Improvement", "Paper"],
+        rows,
+        title="Table XI: effects of warp merging (Chr.1-like)",
+    ))
+    return out

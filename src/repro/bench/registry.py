@@ -1,0 +1,225 @@
+"""Benchmark-case registry: named cases, suite membership, decorator registration.
+
+Every figure/table reproduction (and every CI smoke workload) is a
+:class:`BenchCase`: a named callable that receives a
+:class:`~repro.bench.context.BenchContext` and returns a
+:class:`CaseResult` carrying the metrics to persist. Cases register
+themselves with the module-level :data:`REGISTRY` through the
+:func:`bench_case` decorator; the runner and the CLI resolve suites
+(``smoke``, ``figures``, ``tables``, ``all``) against that registry.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple, Union
+
+__all__ = [
+    "Metric",
+    "CaseResult",
+    "BenchCase",
+    "BenchRegistry",
+    "BenchError",
+    "DuplicateCaseError",
+    "UnknownCaseError",
+    "UnknownSuiteError",
+    "KNOWN_SUITES",
+    "REGISTRY",
+    "bench_case",
+    "load_builtin_cases",
+]
+
+#: Suites the CLI accepts. ``all`` is virtual: every registered case.
+KNOWN_SUITES = ("smoke", "figures", "tables", "all")
+
+#: Metric directions understood by the regression gate.
+DIRECTIONS = ("lower", "higher", "info")
+
+
+class BenchError(Exception):
+    """Base class for benchmark-subsystem errors."""
+
+
+class DuplicateCaseError(BenchError):
+    """A case name was registered twice."""
+
+
+class UnknownCaseError(BenchError):
+    """A case name was requested that no module registered."""
+
+
+class UnknownSuiteError(BenchError):
+    """A suite name outside :data:`KNOWN_SUITES` was requested."""
+
+
+@dataclass(frozen=True)
+class Metric:
+    """One tracked quantity of a benchmark case.
+
+    ``direction`` tells the regression gate how to interpret a change:
+    ``lower`` (run time, stress: smaller is better), ``higher`` (speedup,
+    correlation: larger is better) or ``info`` (graph sizes, counts: recorded
+    for trend inspection but never gated).
+    """
+
+    value: float
+    unit: str = ""
+    direction: str = "info"
+
+    def __post_init__(self) -> None:
+        if self.direction not in DIRECTIONS:
+            raise ValueError(f"metric direction must be one of {DIRECTIONS}, "
+                             f"got {self.direction!r}")
+        if not isinstance(self.value, (int, float)):
+            raise TypeError(f"metric value must be numeric, got {type(self.value).__name__}")
+
+
+@dataclass
+class CaseResult:
+    """What a benchmark case hands back to the runner.
+
+    ``metrics`` are the values persisted into ``BENCH_<suite>.json`` and
+    diffed by ``repro bench compare``. ``graph_properties`` records the input
+    workload (node/edge/step counts) so result files are self-describing.
+    ``tables`` holds the human-readable reproduction tables the legacy
+    scripts used to print.
+    """
+
+    metrics: Dict[str, Metric] = field(default_factory=dict)
+    graph_properties: Dict[str, float] = field(default_factory=dict)
+    tables: List[str] = field(default_factory=list)
+
+    def add(self, name: str, value: float, unit: str = "",
+            direction: str = "info") -> None:
+        """Record one metric (convenience over building ``Metric`` by hand)."""
+        if name in self.metrics:
+            raise ValueError(f"metric {name!r} recorded twice in one case")
+        self.metrics[name] = Metric(float(value), unit=unit, direction=direction)
+
+
+CaseFunc = Callable[["object"], CaseResult]
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """A registered benchmark case."""
+
+    name: str
+    func: CaseFunc
+    source: str = ""
+    suites: Tuple[str, ...] = ()
+    summary: str = ""
+
+    def run(self, ctx) -> CaseResult:
+        """Execute the case body; shape assertions fire inside."""
+        result = self.func(ctx)
+        if not isinstance(result, CaseResult):
+            raise BenchError(f"case {self.name!r} returned {type(result).__name__}, "
+                             "expected CaseResult")
+        return result
+
+
+class BenchRegistry:
+    """Mapping of case name -> :class:`BenchCase` with suite resolution."""
+
+    def __init__(self) -> None:
+        self._cases: Dict[str, BenchCase] = {}
+
+    def register(self, case: BenchCase) -> BenchCase:
+        if case.name in self._cases:
+            raise DuplicateCaseError(
+                f"benchmark case {case.name!r} is already registered "
+                f"(by {self._cases[case.name].func.__module__})"
+            )
+        for suite in case.suites:
+            if suite not in KNOWN_SUITES or suite == "all":
+                raise UnknownSuiteError(
+                    f"case {case.name!r} declares unknown suite {suite!r}; "
+                    f"declarable suites: {[s for s in KNOWN_SUITES if s != 'all']}"
+                )
+        self._cases[case.name] = case
+        return case
+
+    def get(self, name: str) -> BenchCase:
+        try:
+            return self._cases[name]
+        except KeyError:
+            raise UnknownCaseError(
+                f"no benchmark case named {name!r}; known: {sorted(self._cases)}"
+            ) from None
+
+    def names(self) -> List[str]:
+        return sorted(self._cases)
+
+    def cases(self) -> List[BenchCase]:
+        return [self._cases[n] for n in self.names()]
+
+    def suite(self, suite_name: str) -> List[BenchCase]:
+        """All cases belonging to ``suite_name``, in registration-name order."""
+        if suite_name not in KNOWN_SUITES:
+            raise UnknownSuiteError(
+                f"unknown suite {suite_name!r}; known suites: {list(KNOWN_SUITES)}"
+            )
+        if suite_name == "all":
+            return self.cases()
+        return [c for c in self.cases() if suite_name in c.suites]
+
+    def clear(self) -> None:
+        """Forget all cases (test isolation helper)."""
+        self._cases.clear()
+
+    def __len__(self) -> int:
+        return len(self._cases)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._cases
+
+
+#: Process-global registry the decorator writes into.
+REGISTRY = BenchRegistry()
+
+
+def bench_case(
+    name: str,
+    source: str = "",
+    suites: Union[str, Iterable[str]] = (),
+    registry: Optional[BenchRegistry] = None,
+) -> Callable[[CaseFunc], CaseFunc]:
+    """Decorator registering a case function.
+
+    >>> @bench_case("fig04_cpu_scaling", source="Fig. 4", suites=("figures",))
+    ... def run(ctx):
+    ...     return CaseResult()
+    """
+    if isinstance(suites, str):
+        suites = (suites,)
+    suites = tuple(suites)
+
+    def decorate(func: CaseFunc) -> CaseFunc:
+        summary = (func.__doc__ or "").strip().splitlines()
+        case = BenchCase(
+            name=name,
+            func=func,
+            source=source,
+            suites=suites,
+            summary=summary[0] if summary else "",
+        )
+        (registry if registry is not None else REGISTRY).register(case)
+        func.case = case  # type: ignore[attr-defined]
+        return func
+
+    return decorate
+
+
+def load_builtin_cases() -> BenchRegistry:
+    """Import the built-in case modules so they register themselves."""
+    from . import cases  # noqa: F401  (import side effect registers cases)
+
+    return REGISTRY
+
+
+def metrics_as_plain(metrics: Mapping[str, Metric]) -> Dict[str, Dict[str, object]]:
+    """Serialise a metric mapping into plain JSON-ready dictionaries."""
+    return {
+        name: {"value": m.value, "unit": m.unit, "direction": m.direction}
+        for name, m in sorted(metrics.items())
+    }

@@ -1,0 +1,169 @@
+"""Suite runner: execute registered benchmark cases and emit result documents.
+
+The runner owns everything the individual cases must not care about: suite
+resolution, warmup/repeat wall-time measurement, metric-determinism checking
+across repeats, progress reporting, and assembling the schema-versioned
+result document written to ``BENCH_<suite>.json``.
+"""
+from __future__ import annotations
+
+import sys
+import time
+from typing import Callable, Dict, List, Optional
+
+from .context import DEFAULT_MASTER_SEED, BenchContext
+from .env import environment_fingerprint
+from .registry import (
+    BenchCase,
+    BenchError,
+    BenchRegistry,
+    CaseResult,
+    load_builtin_cases,
+    metrics_as_plain,
+)
+from .schema import SCHEMA_VERSION, default_output_path, metric_values, write_results
+
+__all__ = ["run_suite", "run_case", "SuiteRunError"]
+
+
+class SuiteRunError(BenchError):
+    """A case failed, or repeats disagreed on supposedly deterministic metrics."""
+
+
+def _measure(case: BenchCase, ctx: BenchContext, warmup: int,
+             repeats: int) -> tuple[CaseResult, List[float]]:
+    """Run one case ``warmup + repeats`` times; verify metric determinism."""
+    for _ in range(warmup):
+        case.run(ctx)
+    times: List[float] = []
+    result: Optional[CaseResult] = None
+    for repeat in range(repeats):
+        t0 = time.perf_counter()
+        current = case.run(ctx)
+        times.append(time.perf_counter() - t0)
+        if result is not None:
+            previous = {k: m.value for k, m in result.metrics.items()}
+            observed = {k: m.value for k, m in current.metrics.items()}
+            if previous != observed:
+                drift = sorted(k for k in set(previous) | set(observed)
+                               if previous.get(k) != observed.get(k))
+                raise SuiteRunError(
+                    f"case {case.name!r} is nondeterministic across repeats "
+                    f"(repeat {repeat + 1} changed metrics: {drift}); every "
+                    "stochastic choice must come from ctx.seed_for/ctx.rng"
+                )
+        result = current
+    assert result is not None
+    return result, times
+
+
+def run_case(
+    name: str,
+    master_seed: int = DEFAULT_MASTER_SEED,
+    registry: Optional[BenchRegistry] = None,
+    echo: Callable[[str], None] = print,
+) -> CaseResult:
+    """Execute one registered case by name (the ``__main__`` shim entry)."""
+    if registry is None:
+        registry = load_builtin_cases()
+    case = registry.get(name)
+    ctx = BenchContext(master_seed=master_seed)
+    result = case.run(ctx)
+    for table in result.tables:
+        echo(table)
+    return result
+
+
+def run_suite(
+    suite: str,
+    master_seed: int = DEFAULT_MASTER_SEED,
+    warmup: int = 0,
+    repeats: int = 1,
+    out_path: Optional[str] = None,
+    registry: Optional[BenchRegistry] = None,
+    echo: Callable[[str], None] = print,
+    show_tables: bool = False,
+) -> Dict:
+    """Run every case of ``suite`` and return (and optionally write) results.
+
+    ``repeats >= 2`` both tightens the wall-time estimate and *proves* the
+    determinism contract: any metric whose value changes between repeats
+    aborts the run with :class:`SuiteRunError`.
+    """
+    if warmup < 0 or repeats < 1:
+        raise ValueError("warmup must be >= 0 and repeats >= 1")
+    if registry is None:
+        registry = load_builtin_cases()
+    cases = registry.suite(suite)
+    if not cases:
+        raise SuiteRunError(f"suite {suite!r} resolved to zero cases")
+
+    ctx = BenchContext(master_seed=master_seed)
+    echo(f"bench run: suite={suite} cases={len(cases)} master_seed={master_seed} "
+         f"warmup={warmup} repeats={repeats}")
+
+    case_docs = []
+    suite_t0 = time.perf_counter()
+    for position, case in enumerate(cases, start=1):
+        echo(f"[{position}/{len(cases)}] {case.name} ({case.source or 'no source'}) ...")
+        t0 = time.perf_counter()
+        try:
+            result, times = _measure(case, ctx, warmup, repeats)
+        except SuiteRunError:
+            raise
+        except AssertionError as exc:
+            raise SuiteRunError(
+                f"case {case.name!r} failed its reproduction-shape assertions: {exc}"
+            ) from exc
+        elapsed = time.perf_counter() - t0
+        if show_tables:
+            for table in result.tables:
+                echo(table)
+        echo(f"    done in {elapsed:.2f}s "
+             f"({len(result.metrics)} metrics, min wall {min(times):.3f}s)")
+        case_docs.append({
+            "name": case.name,
+            "source": case.source,
+            "suites": sorted(case.suites),
+            "wall_time": {
+                "repeats": repeats,
+                "times_s": [round(t, 6) for t in times],
+                "min_s": round(min(times), 6),
+                "mean_s": round(sum(times) / len(times), 6),
+            },
+            "metrics": metrics_as_plain(result.metrics),
+            "graph_properties": dict(sorted(result.graph_properties.items())),
+        })
+
+    doc = {
+        "schema_version": SCHEMA_VERSION,
+        "suite": suite,
+        "master_seed": master_seed,
+        "environment": environment_fingerprint(),
+        "runner": {"warmup": warmup, "repeats": repeats},
+        "cases": case_docs,
+    }
+    echo(f"suite {suite!r} complete in {time.perf_counter() - suite_t0:.2f}s: "
+         f"{sum(len(c['metrics']) for c in case_docs)} metrics over {len(cases)} cases")
+    if out_path is None:
+        out_path = default_output_path(suite)
+    if out_path:
+        write_results(doc, out_path)
+        echo(f"wrote {out_path}")
+    return doc
+
+
+def deterministic_payload(doc: Dict) -> Dict[str, Dict[str, float]]:
+    """The portion of a result document required to be run-invariant."""
+    return metric_values(doc)
+
+
+def _main(argv: Optional[List[str]] = None) -> int:  # pragma: no cover
+    """Minimal direct entry (``python -m repro.bench.runner <suite>``)."""
+    suite = (argv or sys.argv[1:] or ["smoke"])[0]
+    run_suite(suite)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(_main())

@@ -1,0 +1,186 @@
+"""Versioned on-disk schema for benchmark results (``BENCH_<suite>.json``).
+
+Schema version 1 layout::
+
+    {
+      "schema_version": 1,
+      "suite": "smoke",
+      "master_seed": 9399,
+      "environment": {"python": ..., "numpy": ..., "git": ...},
+      "runner": {"warmup": 0, "repeats": 1},
+      "cases": [
+        {
+          "name": "smoke_layout_cpu",
+          "source": "Alg. 1",
+          "suites": ["smoke"],
+          "wall_time": {"repeats": 1, "min_s": 0.12, "mean_s": 0.12,
+                        "times_s": [0.12]},
+          "metrics": {"sampled_stress": {"value": 1.3, "unit": "",
+                                         "direction": "lower"}},
+          "graph_properties": {"n_nodes": 800.0, ...}
+        }, ...
+      ]
+    }
+
+Wall times describe the machine the file was produced on and are **not**
+compared by the regression gate; ``metrics`` carry deterministic modelled
+quantities and are byte-identical across runs of the same commit and seed.
+"""
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Mapping
+
+from .registry import DIRECTIONS
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "SchemaError",
+    "default_output_path",
+    "validate_results",
+    "write_results",
+    "load_results",
+    "case_index",
+    "metric_values",
+    "list_tracked_metrics",
+]
+
+SCHEMA_VERSION = 1
+
+
+class SchemaError(Exception):
+    """A result document does not conform to the published schema."""
+
+
+def default_output_path(suite: str, directory: str = ".") -> str:
+    """Canonical result filename for a suite: ``BENCH_<suite>.json``."""
+    return os.path.join(directory, f"BENCH_{suite}.json")
+
+
+def _require(doc: Mapping, key: str, kind, where: str):
+    if key not in doc:
+        raise SchemaError(f"{where}: missing required key {key!r}")
+    value = doc[key]
+    kinds = kind if isinstance(kind, tuple) else (kind,)
+    # bool subclasses int in Python; JSON true/false are never valid numbers
+    # or counts anywhere in this schema.
+    if not isinstance(value, kind) or (isinstance(value, bool) and bool not in kinds):
+        raise SchemaError(
+            f"{where}.{key}: expected {'/'.join(k.__name__ for k in kinds)}, "
+            f"got {type(value).__name__}"
+        )
+    return value
+
+
+def _validate_metric(name: str, metric: Mapping, where: str) -> None:
+    value = _require(metric, "value", (int, float), f"{where}.metrics[{name!r}]")
+    if isinstance(value, bool):
+        raise SchemaError(f"{where}.metrics[{name!r}].value: booleans are not metrics")
+    _require(metric, "unit", str, f"{where}.metrics[{name!r}]")
+    direction = _require(metric, "direction", str, f"{where}.metrics[{name!r}]")
+    if direction not in DIRECTIONS:
+        raise SchemaError(
+            f"{where}.metrics[{name!r}].direction: {direction!r} not in {DIRECTIONS}"
+        )
+
+
+def _validate_case(case: Mapping, index: int) -> None:
+    where = f"cases[{index}]"
+    name = _require(case, "name", str, where)
+    if not name:
+        raise SchemaError(f"{where}.name: must be non-empty")
+    _require(case, "source", str, where)
+    suites = _require(case, "suites", list, where)
+    if not all(isinstance(s, str) for s in suites):
+        raise SchemaError(f"{where}.suites: entries must be strings")
+    wall = _require(case, "wall_time", dict, where)
+    repeats = _require(wall, "repeats", int, f"{where}.wall_time")
+    times = _require(wall, "times_s", list, f"{where}.wall_time")
+    if repeats != len(times):
+        raise SchemaError(f"{where}.wall_time: repeats={repeats} but "
+                          f"{len(times)} times recorded")
+    for key in ("min_s", "mean_s"):
+        _require(wall, key, (int, float), f"{where}.wall_time")
+    metrics = _require(case, "metrics", dict, where)
+    for metric_name, metric in metrics.items():
+        if not isinstance(metric, Mapping):
+            raise SchemaError(f"{where}.metrics[{metric_name!r}]: expected object")
+        _validate_metric(metric_name, metric, where)
+    props = _require(case, "graph_properties", dict, where)
+    for key, value in props.items():
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise SchemaError(f"{where}.graph_properties[{key!r}]: expected number")
+
+
+def validate_results(doc: Mapping) -> None:
+    """Raise :class:`SchemaError` unless ``doc`` is a valid result document."""
+    if not isinstance(doc, Mapping):
+        raise SchemaError(f"document: expected object, got {type(doc).__name__}")
+    version = _require(doc, "schema_version", int, "document")
+    if version != SCHEMA_VERSION:
+        raise SchemaError(f"document.schema_version: {version} unsupported "
+                          f"(this build reads version {SCHEMA_VERSION})")
+    suite = _require(doc, "suite", str, "document")
+    if not suite:
+        raise SchemaError("document.suite: must be non-empty")
+    _require(doc, "master_seed", int, "document")
+    _require(doc, "environment", dict, "document")
+    runner = _require(doc, "runner", dict, "document")
+    _require(runner, "warmup", int, "document.runner")
+    _require(runner, "repeats", int, "document.runner")
+    cases = _require(doc, "cases", list, "document")
+    seen: Dict[str, int] = {}
+    for i, case in enumerate(cases):
+        if not isinstance(case, Mapping):
+            raise SchemaError(f"cases[{i}]: expected object")
+        _validate_case(case, i)
+        name = case["name"]
+        if name in seen:
+            raise SchemaError(f"cases[{i}]: duplicate case name {name!r} "
+                              f"(first at cases[{seen[name]}])")
+        seen[name] = i
+
+
+def write_results(doc: Mapping, path: str) -> None:
+    """Validate and atomically write a result document."""
+    validate_results(doc)
+    tmp = f"{path}.tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    os.replace(tmp, path)
+
+
+def load_results(path: str) -> Dict:
+    """Read and validate a result document."""
+    try:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except json.JSONDecodeError as exc:
+        raise SchemaError(f"{path}: not valid JSON ({exc})") from exc
+    validate_results(doc)
+    return doc
+
+
+def case_index(doc: Mapping) -> Dict[str, Mapping]:
+    """Map case name -> case record for one validated document."""
+    return {case["name"]: case for case in doc["cases"]}
+
+
+def metric_values(doc: Mapping) -> Dict[str, Dict[str, float]]:
+    """Flatten ``{case: {metric: value}}`` — the determinism-relevant payload."""
+    out: Dict[str, Dict[str, float]] = {}
+    for case in doc["cases"]:
+        out[case["name"]] = {name: m["value"] for name, m in case["metrics"].items()}
+    return out
+
+
+def list_tracked_metrics(doc: Mapping) -> List[str]:
+    """``case/metric`` identifiers of gate-relevant (non-info) metrics."""
+    tracked = []
+    for case in doc["cases"]:
+        for name, metric in sorted(case["metrics"].items()):
+            if metric["direction"] != "info":
+                tracked.append(f"{case['name']}/{name}")
+    return tracked

@@ -7,7 +7,7 @@ the paper's dataset tables, and geometric means for the summary rows.
 """
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence
 
 import numpy as np
 

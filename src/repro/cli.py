@@ -1,17 +1,28 @@
-"""Command-line interface: ``repro-layout``.
+"""Command-line interface: ``repro``.
 
-Mirrors the shape of ``odgi layout``: read a GFA (or generate a named
-synthetic dataset), run the chosen engine, write the layout and optionally an
-SVG rendering, and report the sampled path stress. The ``--gpu`` flag selects
-the optimized kernel, matching the paper's statement that GPU acceleration is
-enabled in the ODGI pipeline by simply adding ``--gpu``.
+Two subcommands:
+
+* ``repro layout`` — read a GFA (or generate a named synthetic dataset), run
+  the chosen engine, write the layout and optionally an SVG rendering, and
+  report the sampled path stress. Mirrors the shape of ``odgi layout``; the
+  ``--gpu`` flag selects the optimized kernel, matching the paper's statement
+  that GPU acceleration is enabled in the ODGI pipeline by simply adding
+  ``--gpu``.
+* ``repro bench`` — benchmark orchestration: ``run`` executes a registered
+  suite (``smoke``/``figures``/``tables``/``all``) and writes a versioned
+  ``BENCH_<suite>.json``; ``compare`` diffs two result files and exits
+  nonzero on regressions beyond a threshold; ``list`` shows registered cases.
+
+For backward compatibility, invoking the CLI with the historical flat
+``repro-layout`` flags (no subcommand) still works: ``repro --gfa in.gfa``
+is rewritten to ``repro layout --gfa in.gfa``.
 """
 from __future__ import annotations
 
 import argparse
 import sys
 import time
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 from .core import GpuKernelConfig, LayoutParams, layout_graph
 from .graph import LeanGraph, parse_gfa, validate_lean
@@ -20,11 +31,11 @@ from .metrics import sampled_path_stress
 from .render import save_svg
 from .synth import REPRESENTATIVE_SPECS, load_dataset
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "build_bench_parser", "bench_main", "layout_main"]
 
 
 def build_parser() -> argparse.ArgumentParser:
-    """Construct the argument parser (exposed for testing)."""
+    """Construct the ``layout`` argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
         prog="repro-layout",
         description="Path-guided SGD pangenome graph layout (SC'24 reproduction)",
@@ -59,8 +70,8 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
+def layout_main(argv: Optional[Sequence[str]] = None) -> int:
+    """``repro layout`` entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
 
@@ -106,6 +117,116 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"sampled path stress: {sps.value:.4f} "
               f"(95% CI [{sps.ci_low:.4f}, {sps.ci_high:.4f}], n={sps.n_samples})")
     return 0
+
+
+def build_bench_parser() -> argparse.ArgumentParser:
+    """Construct the ``repro bench`` argument parser."""
+    from .bench.context import DEFAULT_MASTER_SEED
+    from .bench.registry import KNOWN_SUITES
+
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="Benchmark orchestration and perf-regression gate",
+    )
+    sub = parser.add_subparsers(dest="bench_command", required=True)
+
+    run_p = sub.add_parser("run", help="run a benchmark suite and write BENCH_<suite>.json")
+    run_p.add_argument("--suite", default="smoke", choices=list(KNOWN_SUITES),
+                       help="suite to run (default: smoke)")
+    run_p.add_argument("--seed", type=int, default=DEFAULT_MASTER_SEED,
+                       help="master seed threaded through every case "
+                            f"(default: {DEFAULT_MASTER_SEED})")
+    run_p.add_argument("--warmup", type=int, default=0,
+                       help="unmeasured runs per case before timing (default: 0)")
+    run_p.add_argument("--repeats", type=int, default=1,
+                       help="measured runs per case; >=2 also verifies metric "
+                            "determinism (default: 1)")
+    run_p.add_argument("--out", default=None,
+                       help="output path (default: BENCH_<suite>.json in the CWD)")
+    run_p.add_argument("--tables", action="store_true",
+                       help="print each case's human-readable reproduction tables")
+
+    cmp_p = sub.add_parser("compare",
+                           help="diff two result files; exit 1 on regression")
+    cmp_p.add_argument("old", help="baseline BENCH_*.json")
+    cmp_p.add_argument("new", help="candidate BENCH_*.json")
+    cmp_p.add_argument("--max-regress", default="10%",
+                       help="allowed worsening per tracked metric, e.g. '10%%' "
+                            "or '0.1' (default: 10%%)")
+    cmp_p.add_argument("--allow-missing", action="store_true",
+                       help="do not fail when a tracked case/metric disappears")
+    cmp_p.add_argument("--quiet", action="store_true",
+                       help="only print regressions and the verdict line")
+
+    list_p = sub.add_parser("list", help="list registered cases and their suites")
+    list_p.add_argument("--suite", default="all", choices=list(KNOWN_SUITES),
+                        help="restrict the listing to one suite")
+    return parser
+
+
+def bench_main(argv: Optional[Sequence[str]] = None) -> int:
+    """``repro bench`` entry point; returns the process exit code."""
+    from .bench.compare import compare_files, parse_threshold
+    from .bench.registry import BenchError, load_builtin_cases
+    from .bench.runner import SuiteRunError, run_suite
+    from .bench.schema import SchemaError
+    from .bench.tables import format_table
+
+    args = build_bench_parser().parse_args(argv)
+    try:
+        if args.bench_command == "run":
+            run_suite(
+                args.suite,
+                master_seed=args.seed,
+                warmup=args.warmup,
+                repeats=args.repeats,
+                out_path=args.out,
+                show_tables=args.tables,
+            )
+            return 0
+        if args.bench_command == "compare":
+            report = compare_files(
+                args.old, args.new,
+                max_regress=parse_threshold(args.max_regress),
+                allow_missing=args.allow_missing,
+            )
+            print(report.format(include_ok=not args.quiet))
+            return report.exit_code
+        if args.bench_command == "list":
+            registry = load_builtin_cases()
+            rows = [[c.name, c.source, ",".join(sorted(c.suites)), c.summary]
+                    for c in registry.suite(args.suite)]
+            print(format_table(["case", "source", "suites", "summary"], rows,
+                               title=f"Registered benchmark cases ({args.suite})"))
+            return 0
+    except BrokenPipeError:
+        return 0
+    except (BenchError, SuiteRunError, SchemaError, ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    raise AssertionError("unreachable")
+
+
+#: Subcommands of the top-level ``repro`` program.
+_COMMANDS = ("layout", "bench")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Top-level CLI dispatch; returns the process exit code.
+
+    ``repro layout ...`` and ``repro bench ...`` dispatch to the subcommands;
+    any other leading argument falls back to the historical flat
+    ``repro-layout`` interface for backward compatibility.
+    """
+    args: List[str] = list(sys.argv[1:] if argv is None else argv)
+    if args and args[0] == "bench":
+        return bench_main(args[1:])
+    if args and args[0] == "layout":
+        return layout_main(args[1:])
+    if args and args[0] in ("-h", "--help") and argv is None:
+        print(__doc__)
+        return 0
+    return layout_main(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -12,7 +12,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-import numpy as np
 
 from ..graph.lean import LeanGraph
 from ..graph.path_index import PathIndex

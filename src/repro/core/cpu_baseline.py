@@ -33,7 +33,6 @@ from ..prng.xoshiro import Xoshiro256Plus
 from .base import LayoutEngine, LayoutResult
 from .layout import NodeDataLayout, node_record_addresses
 from .params import LayoutParams
-from .selection import StepBatch
 from .updates import apply_batch
 
 __all__ = ["CpuBaselineEngine", "SerialReferenceEngine"]

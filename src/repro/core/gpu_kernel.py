@@ -34,14 +34,14 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..graph.lean import LeanGraph
-from ..prng.xorshift import XorwowState, state_addresses, AOS, SOA
+from ..prng.xorshift import state_addresses, AOS, SOA
 from ..prng.xoshiro import Xoshiro256Plus
 from ..gpusim.cache import CacheConfig, CacheHierarchy
 from ..gpusim.coalescing import analyze_warp_requests
 from ..gpusim.device import DeviceSpec, RTX_A6000
 from ..gpusim.profiler import MemoryTrafficProfile, WorkloadCounters
 from ..gpusim.timing import TimingBreakdown, gpu_runtime
-from ..gpusim.warp import WarpExecutionStats, merge_branch_decisions, simulate_warp_execution
+from ..gpusim.warp import WarpExecutionStats, simulate_warp_execution
 from .base import LayoutEngine
 from .layout import NodeDataLayout, node_record_addresses
 from .params import LayoutParams

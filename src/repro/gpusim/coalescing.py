@@ -15,7 +15,7 @@ address sets, which both the random-state layouts
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Iterable
 
 import numpy as np
 

@@ -16,8 +16,8 @@ engines; the formulas here combine them into the derived quantities.
 """
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+from dataclasses import dataclass
+from typing import Dict
 
 import numpy as np
 

@@ -13,7 +13,6 @@ Table VIII) and the correlation study against exact path stress (Fig. 13).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 

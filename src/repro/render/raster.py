@@ -8,7 +8,7 @@ be written out as binary PPM images viewable by any image tool.
 from __future__ import annotations
 
 import os
-from typing import Tuple, Union
+from typing import Union
 
 import numpy as np
 

@@ -8,7 +8,7 @@ import numpy as np
 import pytest
 
 from repro.cli import build_parser, main
-from repro.core import LayoutParams, initialize_layout
+from repro.core import initialize_layout
 from repro.core.layout import Layout
 from repro.io import LayFormatError, read_lay, read_tsv, write_lay, write_tsv
 from repro.parallel import (

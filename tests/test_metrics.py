@@ -4,7 +4,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core import LayoutParams, initialize_layout, layout_graph
+from repro.core import initialize_layout, layout_graph
 from repro.core.layout import Layout
 from repro.graph import LeanGraph
 from repro.metrics import (
