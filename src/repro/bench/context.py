@@ -107,6 +107,17 @@ class BenchContext:
         return self._cached("chr1", lambda: chr1_like(scale=0.1))
 
     @property
+    def perf_graph(self) -> LeanGraph:
+        """Full-scale Chr.1-like graph for the hot-path wall-time cases.
+
+        The update-kernel scaling bug the perf cases guard against (O(N)
+        scratch per batch) only shows on a graph whose node count dwarfs the
+        batch size, so these cases run at scale 1.0 (~23k nodes); build time
+        is well under the smoke budget.
+        """
+        return self._cached("chr1_full", lambda: chr1_like(scale=1.0))
+
+    @property
     def representative_graphs(self) -> Dict[str, LeanGraph]:
         """The three representative pangenomes of Table I (scaled)."""
         return {"HLA-DRB1": self.hla_graph, "MHC": self.mhc_graph,

@@ -59,11 +59,20 @@ class Metric:
     ``lower`` (run time, stress: smaller is better), ``higher`` (speedup,
     correlation: larger is better) or ``info`` (graph sizes, counts: recorded
     for trend inspection but never gated).
+
+    ``deterministic`` marks whether the value is required to be byte-identical
+    across runs of the same commit and master seed. Modelled quantities are
+    (the default); *measured wall-clock* metrics (the hot-path perf cases) set
+    it ``False`` — they are still written to the result file and gated by
+    ``repro bench compare``, but the runner's across-repeat identity check and
+    the determinism payload exclude them, since a wall time legitimately
+    varies between repeats.
     """
 
     value: float
     unit: str = ""
     direction: str = "info"
+    deterministic: bool = True
 
     def __post_init__(self) -> None:
         if self.direction not in DIRECTIONS:
@@ -89,11 +98,12 @@ class CaseResult:
     tables: List[str] = field(default_factory=list)
 
     def add(self, name: str, value: float, unit: str = "",
-            direction: str = "info") -> None:
+            direction: str = "info", deterministic: bool = True) -> None:
         """Record one metric (convenience over building ``Metric`` by hand)."""
         if name in self.metrics:
             raise ValueError(f"metric {name!r} recorded twice in one case")
-        self.metrics[name] = Metric(float(value), unit=unit, direction=direction)
+        self.metrics[name] = Metric(float(value), unit=unit, direction=direction,
+                                    deterministic=deterministic)
 
 
 CaseFunc = Callable[["object"], CaseResult]
@@ -218,8 +228,17 @@ def load_builtin_cases() -> BenchRegistry:
 
 
 def metrics_as_plain(metrics: Mapping[str, Metric]) -> Dict[str, Dict[str, object]]:
-    """Serialise a metric mapping into plain JSON-ready dictionaries."""
-    return {
-        name: {"value": m.value, "unit": m.unit, "direction": m.direction}
-        for name, m in sorted(metrics.items())
-    }
+    """Serialise a metric mapping into plain JSON-ready dictionaries.
+
+    The ``deterministic`` key is only written when ``False`` so documents from
+    older runs (where every metric was implicitly deterministic) stay
+    byte-identical.
+    """
+    out: Dict[str, Dict[str, object]] = {}
+    for name, m in sorted(metrics.items()):
+        plain: Dict[str, object] = {"value": m.value, "unit": m.unit,
+                                    "direction": m.direction}
+        if not m.deterministic:
+            plain["deterministic"] = False
+        out[name] = plain
+    return out

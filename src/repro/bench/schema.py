@@ -22,9 +22,13 @@ Schema version 1 layout::
       ]
     }
 
-Wall times describe the machine the file was produced on and are **not**
-compared by the regression gate; ``metrics`` carry deterministic modelled
-quantities and are byte-identical across runs of the same commit and seed.
+Per-case ``wall_time`` blocks describe the machine the file was produced on
+and are **not** compared by the regression gate. ``metrics`` are byte-identical
+across runs of the same commit and seed, with one exception: a metric carrying
+``"deterministic": false`` (the hot-path perf cases' measured wall times) is
+exempt from the byte-identity contract while still being gated directionally
+by ``repro bench compare``. The key is omitted when true, so documents
+produced before the flag existed validate and diff unchanged.
 """
 from __future__ import annotations
 
@@ -82,6 +86,11 @@ def _validate_metric(name: str, metric: Mapping, where: str) -> None:
     if direction not in DIRECTIONS:
         raise SchemaError(
             f"{where}.metrics[{name!r}].direction: {direction!r} not in {DIRECTIONS}"
+        )
+    if "deterministic" in metric and not isinstance(metric["deterministic"], bool):
+        raise SchemaError(
+            f"{where}.metrics[{name!r}].deterministic: expected bool, "
+            f"got {type(metric['deterministic']).__name__}"
         )
 
 
@@ -169,10 +178,18 @@ def case_index(doc: Mapping) -> Dict[str, Mapping]:
 
 
 def metric_values(doc: Mapping) -> Dict[str, Dict[str, float]]:
-    """Flatten ``{case: {metric: value}}`` — the determinism-relevant payload."""
+    """Flatten ``{case: {metric: value}}`` — the determinism-relevant payload.
+
+    Metrics flagged ``"deterministic": false`` (measured wall times) are
+    excluded: they are gate-relevant but not part of the byte-identity
+    contract.
+    """
     out: Dict[str, Dict[str, float]] = {}
     for case in doc["cases"]:
-        out[case["name"]] = {name: m["value"] for name, m in case["metrics"].items()}
+        out[case["name"]] = {
+            name: m["value"] for name, m in case["metrics"].items()
+            if m.get("deterministic", True)
+        }
     return out
 
 

@@ -8,8 +8,15 @@ from .params import LayoutParams
 from .schedule import make_schedule, distance_bounds
 from .layout import Layout, NodeDataLayout, initialize_layout, node_record_addresses
 from .selection import PairSampler, StepBatch, zipf_hop_distances
-from .updates import UpdateStats, apply_batch, batch_stress, compute_displacements
-from .base import IterationRecord, LayoutEngine, LayoutResult
+from .updates import (
+    UpdateStats,
+    UpdateWorkspace,
+    apply_batch,
+    batch_stress,
+    compact_points,
+    compute_displacements,
+)
+from .base import IterationRecord, LayoutEngine, LayoutResult, split_into_batches
 from .cpu_baseline import CpuBaselineEngine, SerialReferenceEngine
 from .batch_engine import BatchedLayoutEngine, OpProfile, KernelOp, PYTORCH_OP_SEQUENCE
 from .gpu_kernel import GpuKernelConfig, GpuProfile, OptimizedGpuEngine
@@ -27,12 +34,15 @@ __all__ = [
     "StepBatch",
     "zipf_hop_distances",
     "UpdateStats",
+    "UpdateWorkspace",
     "apply_batch",
     "batch_stress",
+    "compact_points",
     "compute_displacements",
     "IterationRecord",
     "LayoutEngine",
     "LayoutResult",
+    "split_into_batches",
     "CpuBaselineEngine",
     "SerialReferenceEngine",
     "BatchedLayoutEngine",

@@ -20,9 +20,27 @@ from .layout import Layout, NodeDataLayout, initialize_layout
 from .params import LayoutParams
 from .schedule import make_schedule
 from .selection import PairSampler, StepBatch
-from .updates import apply_batch, batch_stress
+from .updates import UpdateWorkspace, apply_batch, batch_stress
 
-__all__ = ["IterationRecord", "LayoutResult", "LayoutEngine"]
+__all__ = ["IterationRecord", "LayoutResult", "LayoutEngine", "split_into_batches"]
+
+
+def split_into_batches(total: int, chunk: int) -> List[int]:
+    """Split ``total`` update terms into ``chunk``-sized batches plus remainder.
+
+    The shared building block of every engine's :meth:`LayoutEngine.batch_plan`:
+    ``chunk`` is clamped to ``[1, total]`` and the final batch carries the
+    remainder, so the plan always sums to ``total``.
+    """
+    total = int(total)
+    if total <= 0:
+        return []
+    chunk = max(1, min(int(chunk), total))
+    full, rem = divmod(total, chunk)
+    plan = [chunk] * full
+    if rem:
+        plan.append(rem)
+    return plan
 
 
 @dataclass
@@ -87,6 +105,16 @@ class LayoutEngine:
         """Draw one batch of update terms (engines may override the policy)."""
         return self.sampler.sample(rng, batch_size, iteration)
 
+    def make_workspace(self, plan: List[int]) -> UpdateWorkspace:
+        """Per-run scratch buffers sized to the largest batch of ``plan``.
+
+        Engines whose :meth:`on_batch` expands batches beyond the planned
+        size (e.g. warp-shuffle data reuse) override this to pre-size the
+        buffers; the workspace also grows on demand, so an override is an
+        optimisation, not a correctness requirement.
+        """
+        return UpdateWorkspace(max(plan) if plan else 1)
+
     # ------------------------------------------------------------------ run
     def run(self, initial: Optional[Layout] = None) -> LayoutResult:
         """Execute the full layout optimisation and return the result."""
@@ -99,6 +127,13 @@ class LayoutEngine:
         coords = layout.coords
         rng = self.make_rng()
         steps_per_iter = params.steps_per_iteration(self.graph.total_steps)
+        # The plan depends only on the per-iteration step budget, so it is
+        # computed once; its largest batch sizes the per-run scratch buffers
+        # every apply_batch call of the run reuses (no graph-sized scratch
+        # and no re-allocation of the staging arrays in the memory-bound hot
+        # path, paper Sec. V-B).
+        plan = self.batch_plan(steps_per_iter)
+        workspace = self.make_workspace(plan)
         history: List[IterationRecord] = []
         total_terms = 0
         for iteration in range(params.iter_max):
@@ -107,10 +142,11 @@ class LayoutEngine:
             n_terms_iter = 0
             stress_probe = 0.0
             probe_count = 0
-            for batch_index, batch_size in enumerate(self.batch_plan(steps_per_iter)):
+            for batch_index, batch_size in enumerate(plan):
                 batch = self.draw_batch(rng, batch_size, iteration, batch_index)
                 batch = self.on_batch(batch, iteration, batch_index)
-                stats = apply_batch(coords, batch, eta, merge=self.merge_policy())
+                stats = apply_batch(coords, batch, eta, merge=self.merge_policy(),
+                                    workspace=workspace)
                 n_collisions += stats.n_point_collisions
                 n_terms_iter += stats.n_terms
                 if params.record_history and batch_index == 0:

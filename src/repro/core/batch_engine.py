@@ -26,7 +26,7 @@ import numpy as np
 
 from ..graph.lean import LeanGraph
 from ..prng.xoshiro import Xoshiro256Plus
-from .base import LayoutEngine
+from .base import LayoutEngine, split_into_batches
 from .layout import NodeDataLayout
 from .params import LayoutParams
 from .selection import StepBatch
@@ -136,12 +136,7 @@ class BatchedLayoutEngine(LayoutEngine):
         return Xoshiro256Plus(self.params.seed, n_streams=1024)
 
     def batch_plan(self, steps_per_iteration: int) -> List[int]:
-        batch = min(self.params.batch_size, steps_per_iteration)
-        full, rem = divmod(steps_per_iteration, batch)
-        plan = [batch] * full
-        if rem:
-            plan.append(rem)
-        return plan
+        return split_into_batches(steps_per_iteration, self.params.batch_size)
 
     def on_batch(self, batch: StepBatch, iteration: int, batch_index: int) -> StepBatch:
         self.op_profile.record_batch(len(batch))

@@ -30,10 +30,10 @@ import numpy as np
 
 from ..graph.lean import LeanGraph
 from ..prng.xoshiro import Xoshiro256Plus
-from .base import LayoutEngine, LayoutResult
+from .base import LayoutEngine, LayoutResult, split_into_batches
 from .layout import NodeDataLayout, node_record_addresses
 from .params import LayoutParams
-from .updates import apply_batch
+from .updates import UpdateWorkspace, apply_batch
 
 __all__ = ["CpuBaselineEngine", "SerialReferenceEngine"]
 
@@ -69,11 +69,7 @@ class CpuBaselineEngine(LayoutEngine):
 
     def batch_plan(self, steps_per_iteration: int) -> List[int]:
         chunk = max(1, self.params.n_threads * self.hogwild_round)
-        full, rem = divmod(steps_per_iteration, chunk)
-        plan = [chunk] * full
-        if rem:
-            plan.append(rem)
-        return plan
+        return split_into_batches(steps_per_iteration, chunk)
 
     # ------------------------------------------------------------- tracing
     def access_trace(
@@ -131,11 +127,12 @@ class SerialReferenceEngine(LayoutEngine):
         coords = layout.coords
         rng = self.make_rng()
         steps = params.steps_per_iteration(self.graph.total_steps)
+        workspace = UpdateWorkspace(steps)
         total = 0
         for iteration in range(params.iter_max):
             eta = float(self.schedule[iteration])
             batch = self.sampler.sample_fixed_hop(rng, steps, hop)
-            apply_batch(coords, batch, eta)
+            apply_batch(coords, batch, eta, workspace=workspace)
             total += len(batch)
         return LayoutResult(
             layout=layout,

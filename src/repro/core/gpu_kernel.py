@@ -42,10 +42,11 @@ from ..gpusim.device import DeviceSpec, RTX_A6000
 from ..gpusim.profiler import MemoryTrafficProfile, WorkloadCounters
 from ..gpusim.timing import TimingBreakdown, gpu_runtime
 from ..gpusim.warp import WarpExecutionStats, simulate_warp_execution
-from .base import LayoutEngine
+from .base import LayoutEngine, split_into_batches
 from .layout import NodeDataLayout, node_record_addresses
 from .params import LayoutParams
 from .selection import StepBatch
+from .updates import UpdateWorkspace
 
 __all__ = ["GpuKernelConfig", "GpuProfile", "OptimizedGpuEngine"]
 
@@ -153,11 +154,14 @@ class OptimizedGpuEngine(LayoutEngine):
         warp = self.config.warp_size
         graph_cap = max(warp, (self.graph.n_nodes // 4 // warp) * warp)
         wave = min(self.config.concurrent_threads, graph_cap)
-        full, rem = divmod(effective, wave)
-        plan = [wave] * full
-        if rem:
-            plan.append(rem)
-        return plan
+        return split_into_batches(effective, wave)
+
+    def make_workspace(self, plan: List[int]) -> UpdateWorkspace:
+        # Warp-shuffle data reuse expands every planned batch DRF-fold in
+        # on_batch, so the scratch buffers are pre-sized to the expanded
+        # batches instead of growing on the first wave.
+        base = max(plan) if plan else 1
+        return UpdateWorkspace(base * self.config.data_reuse_factor)
 
     def draw_batch(
         self, rng: Xoshiro256Plus, batch_size: int, iteration: int, batch_index: int
@@ -167,13 +171,10 @@ class OptimizedGpuEngine(LayoutEngine):
         path_override = None
         if self.config.warp_merging or self.config.data_reuse_factor > 1:
             # Control-thread decision per warp, broadcast to the whole warp.
+            # The sampler's bulk draw consumes the PRNG streams in the same
+            # order the historical concatenate-until-full loop did.
             n_warps = int(np.ceil(batch_size / warp))
-            warp_draws = np.asarray(rng.next_double())[:n_warps]
-            if warp_draws.size < n_warps:
-                extra = []
-                while sum(len(e) for e in extra) + warp_draws.size < n_warps:
-                    extra.append(np.asarray(rng.next_double()))
-                warp_draws = np.concatenate([warp_draws] + extra)[:n_warps]
+            warp_draws = self.sampler._uniforms(rng, n_warps, 1)[0]
             always = iteration >= self.params.first_cooling_iteration()
             warp_cooling = np.full(n_warps, always, dtype=bool) | (warp_draws < 0.5)
             cooling_mask = np.repeat(warp_cooling, warp)[:batch_size]

@@ -113,7 +113,7 @@ class Layout:
 
     @classmethod
     def from_aos_array(cls, aos: np.ndarray) -> "Layout":
-        """Rebuild a layout from packed AoS records."""
+        """Rebuild a layout from packed AoS records (tagged :attr:`NodeDataLayout.AOS`)."""
         aos = np.asarray(aos, dtype=np.float64)
         if aos.ndim != 2 or aos.shape[1] != 5:
             raise ValueError("AoS array must have shape (n_nodes, 5)")
@@ -122,7 +122,7 @@ class Layout:
         coords[0::2, 1] = aos[:, 2]
         coords[1::2, 0] = aos[:, 3]
         coords[1::2, 1] = aos[:, 4]
-        return cls(coords)
+        return cls(coords, NodeDataLayout.AOS)
 
 
 def initialize_layout(
@@ -147,10 +147,20 @@ def initialize_layout(
     # np.unique returns the first-occurrence index of each node present.
     uniq, first_idx = np.unique(nodes, return_index=True)
     first_pos[uniq] = positions[first_idx]
-    max_pos = positions.max() if positions.size else 0.0
+    # Path-less nodes go past the furthest on-path *extent* (step position plus
+    # that node's length), not the furthest step start — otherwise the first
+    # appended node can overlap the final on-path node's segment.
+    if positions.size:
+        max_pos = float((positions + graph.node_lengths[nodes].astype(np.float64)).max())
+    else:
+        max_pos = 0.0
     missing = first_pos < 0
     if missing.any():
-        first_pos[missing] = max_pos + np.cumsum(graph.node_lengths[missing].astype(np.float64))
+        # Pack the appended nodes end to end from max_pos: an *exclusive*
+        # prefix sum of their lengths, so each one starts where the previous
+        # one ends regardless of length ordering.
+        lengths = graph.node_lengths[missing].astype(np.float64)
+        first_pos[missing] = max_pos + np.cumsum(lengths) - lengths
     coords = np.empty((2 * n, 2), dtype=np.float64)
     coords[0::2, 0] = first_pos
     coords[1::2, 0] = first_pos + graph.node_lengths.astype(np.float64)

@@ -134,7 +134,12 @@ class PairSampler:
         path per term (used by the warp-shuffle data-reuse scheme, which
         keeps every warp on one path).
         """
-        draws = self._uniforms(rng, batch_size, 6)
+        # One bulk draw covers everything the batch needs: vectors 0-5 drive
+        # path/cooling/pair selection and vectors 6-7 the endpoint coin flips
+        # of lines 12-13. Drawing all 8 at once halves the Python-level call
+        # overhead while consuming the PRNG streams in the exact order the
+        # historical two-call scheme did, so sampled batches are unchanged.
+        draws = self._uniforms(rng, batch_size, 8)
         # Line 5: path selection proportional to step count.
         if path_override is not None:
             paths = np.asarray(path_override, dtype=np.int64)
@@ -178,10 +183,9 @@ class PairSampler:
         d_ref = np.abs(
             self.graph.step_positions[flat_i] - self.graph.step_positions[flat_j]
         ).astype(np.float64)
-        # Lines 12-13: endpoint coin flips.
-        vis_draws = self._uniforms(rng, batch_size, 2)
-        vis_i = (vis_draws[0] < 0.5).astype(np.int64)
-        vis_j = (vis_draws[1] < 0.5).astype(np.int64)
+        # Lines 12-13: endpoint coin flips (vectors 6-7 of the bulk draw).
+        vis_i = (draws[6] < 0.5).astype(np.int64)
+        vis_j = (draws[7] < 0.5).astype(np.int64)
         return StepBatch(
             path=paths,
             flat_i=flat_i,
@@ -202,7 +206,9 @@ class PairSampler:
         """
         if hop < 1:
             raise ValueError("hop must be >= 1")
-        draws = self._uniforms(rng, batch_size, 2)
+        # Single 4-vector bulk draw (path, step, both endpoints) — same stream
+        # consumption order as the historical two 2-vector draws.
+        draws = self._uniforms(rng, batch_size, 4)
         paths = self.index.sample_paths(draws[0])
         starts = self._offsets[paths]
         counts = self._counts[paths]
@@ -213,7 +219,7 @@ class PairSampler:
         d_ref = np.abs(
             self.graph.step_positions[flat_i] - self.graph.step_positions[flat_j]
         ).astype(np.float64)
-        vis = self._uniforms(rng, batch_size, 2)
+        vis = draws[2:]
         return StepBatch(
             path=paths,
             flat_i=flat_i,
@@ -235,15 +241,25 @@ class PairSampler:
         stream count differs from the batch size the draws are tiled/cropped,
         which preserves decorrelation across the batch because consecutive
         calls advance every stream.
+
+        The whole ``(n_vectors × batch_size)`` block is filled by one flat
+        Python-level loop over PRNG calls writing rows of a single
+        preallocated buffer — no per-vector inner loop. The consumption
+        order (vector-major, call-minor) is the sampler's determinism
+        contract: every call advances each stream once, and call ``c`` of
+        vector ``v`` is PRNG call ``v · ceil(batch/streams) + c``. Changing
+        this order changes every sampled batch and therefore requires
+        regenerating the committed smoke baseline (see ROADMAP).
         """
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if n_vectors < 1:
+            raise ValueError("n_vectors must be >= 1")
         first = np.asarray(rng.next_double(), dtype=np.float64)
         n_streams = first.size
         need_calls = int(np.ceil(batch_size / n_streams))
-        rows = np.empty((n_vectors, need_calls * n_streams), dtype=np.float64)
-        rows[0, :n_streams] = first
-        for c in range(1, need_calls):
-            rows[0, c * n_streams:(c + 1) * n_streams] = rng.next_double()
-        for v in range(1, n_vectors):
-            for c in range(need_calls):
-                rows[v, c * n_streams:(c + 1) * n_streams] = rng.next_double()
-        return rows[:, :batch_size]
+        block = np.empty((n_vectors * need_calls, n_streams), dtype=np.float64)
+        block[0] = first
+        for call in range(1, block.shape[0]):
+            block[call] = rng.next_double()
+        return block.reshape(n_vectors, need_calls * n_streams)[:, :batch_size]

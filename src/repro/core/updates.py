@@ -24,16 +24,35 @@ Three write-merge policies are offered:
   saturated (μ = 1), so it is exposed for sensitivity studies only.
 * ``"last_writer"`` — only one colliding term survives per point, modelling a
   racy unsynchronised store; provided to study collision sensitivity.
+
+Cost discipline (paper Sec. V-B): the update step is memory-bound, so the
+merge must never touch more state than the batch itself. All three policies
+operate on the *compacted* index space of the points the batch actually
+touches (:func:`compact_points`), making ``apply_batch`` O(batch) per batch
+— independent of the graph size — and an :class:`UpdateWorkspace` of
+preallocated scratch buffers removes the per-batch allocation of the large
+staging arrays (endpoint indices, gathered coordinates, displacement
+vectors, merge inputs). A steady-state run therefore allocates nothing
+proportional to the graph; what remains per batch is a handful of small
+O(batch) temporaries from ``np.where``/``np.unique``/``np.bincount``.
 """
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional, Tuple
 
 import numpy as np
 
 from .selection import StepBatch
 
-__all__ = ["UpdateStats", "compute_displacements", "apply_batch", "batch_stress"]
+__all__ = [
+    "UpdateStats",
+    "UpdateWorkspace",
+    "compact_points",
+    "compute_displacements",
+    "apply_batch",
+    "batch_stress",
+]
 
 _MIN_DISTANCE = 1e-9
 
@@ -49,33 +68,106 @@ class UpdateStats:
     max_step_magnitude: float
 
 
+class UpdateWorkspace:
+    """Reusable scratch buffers for the update hot path.
+
+    One workspace is created per :meth:`LayoutEngine.run` (sized to the
+    largest batch of the engine's plan) and threaded through every
+    :func:`apply_batch` / :func:`compute_displacements` call of the run, so
+    the dominant batch-shaped temporaries — endpoint indices, gathered
+    coordinates, displacement vectors and the merge staging arrays — are
+    allocated once instead of once per batch. Buffers grow on demand (engines that expand
+    batches after planning, e.g. warp-shuffle data reuse, stay correct) and
+    never shrink.
+
+    The buffers hold no state between calls; sharing one workspace across
+    engines is safe as long as calls do not interleave mid-update.
+    """
+
+    def __init__(self, max_batch: int = 1):
+        self.max_batch = 0
+        self._grow(max(int(max_batch), 1))
+
+    def _grow(self, n: int) -> None:
+        self.max_batch = n
+        self.point_i = np.empty(n, dtype=np.int64)
+        self.point_j = np.empty(n, dtype=np.int64)
+        self.gather_i = np.empty((n, 2), dtype=np.float64)
+        self.gather_j = np.empty((n, 2), dtype=np.float64)
+        self.diff = np.empty((n, 2), dtype=np.float64)
+        self.mag = np.empty(n, dtype=np.float64)
+        self.mag_safe = np.empty(n, dtype=np.float64)
+        self.term_delta = np.empty((n, 2), dtype=np.float64)
+        self.merge_points = np.empty(2 * n, dtype=np.int64)
+        self.merge_delta = np.empty((2 * n, 2), dtype=np.float64)
+
+    def ensure(self, batch_size: int) -> None:
+        """Grow the buffers if ``batch_size`` exceeds the current capacity."""
+        if batch_size > self.max_batch:
+            self._grow(int(batch_size))
+
+
+def compact_points(points: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Compact flat point indices onto the touched-point index space.
+
+    Returns ``(unique_points, inverse, counts)`` from a single sort-based
+    pass (``np.unique(..., return_inverse=True)``): ``inverse`` maps every
+    entry of ``points`` to its slot in ``unique_points`` and ``counts`` is
+    the per-slot multiplicity. The same compaction serves the bincount-based
+    write merges *and* the collision counter, so the hot path never
+    materialises graph-sized scratch arrays and never sorts twice.
+    """
+    points = np.asarray(points)
+    unique_points, inverse = np.unique(points, return_inverse=True)
+    counts = np.bincount(inverse, minlength=unique_points.size)
+    return unique_points, inverse, counts
+
+
 def compute_displacements(
-    coords: np.ndarray, batch: StepBatch, eta: float
+    coords: np.ndarray,
+    batch: StepBatch,
+    eta: float,
+    workspace: Optional[UpdateWorkspace] = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Per-term displacement vectors for both endpoints of every term.
 
     Returns ``(point_i, point_j, delta)`` where ``point_*`` are flat indices
     into the ``(2N, 2)`` coordinate array and ``delta`` is the displacement to
     subtract from point ``i`` (and add to point ``j``).
+
+    When a ``workspace`` is supplied the returned arrays are views into its
+    buffers and are overwritten by the next call that shares the workspace.
     """
+    n = len(batch)
+    ws = workspace if workspace is not None else UpdateWorkspace(n)
+    ws.ensure(n)
+
+    point_i = ws.point_i[:n]
+    point_j = ws.point_j[:n]
+    np.multiply(batch.node_i, 2, out=point_i)
+    point_i += batch.vis_i
+    np.multiply(batch.node_j, 2, out=point_j)
+    point_j += batch.vis_j
+
     d_ref = batch.d_ref
     valid = d_ref > 0
     d_safe = np.where(valid, d_ref, 1.0)
     w = 1.0 / (d_safe * d_safe)
     mu = np.minimum(eta * w, 1.0)
 
-    point_i = 2 * batch.node_i + batch.vis_i
-    point_j = 2 * batch.node_j + batch.vis_j
-    diff = coords[point_i] - coords[point_j]
-    mag = np.sqrt(np.einsum("ij,ij->i", diff, diff))
-    mag_safe = np.maximum(mag, _MIN_DISTANCE)
+    gathered_i = np.take(coords, point_i, axis=0, out=ws.gather_i[:n])
+    gathered_j = np.take(coords, point_j, axis=0, out=ws.gather_j[:n])
+    diff = np.subtract(gathered_i, gathered_j, out=ws.diff[:n])
+    mag = np.einsum("ij,ij->i", diff, diff, out=ws.mag[:n])
+    np.sqrt(mag, out=mag)
+    mag_safe = np.maximum(mag, _MIN_DISTANCE, out=ws.mag_safe[:n])
     delta_scalar = np.where(valid, mu * (mag - d_safe) / 2.0, 0.0)
     # Degenerate coincident points: nudge along x to separate them.
-    unit = diff / mag_safe[:, None]
+    unit = np.divide(diff, mag_safe[:, None], out=ws.term_delta[:n])
     coincident = mag < _MIN_DISTANCE
     if np.any(coincident):
         unit[coincident] = np.array([1.0, 0.0])
-    delta = unit * delta_scalar[:, None]
+    delta = np.multiply(unit, delta_scalar[:, None], out=unit)
     return point_i, point_j, delta
 
 
@@ -84,39 +176,51 @@ def apply_batch(
     batch: StepBatch,
     eta: float,
     merge: str = "hogwild",
+    workspace: Optional[UpdateWorkspace] = None,
 ) -> UpdateStats:
-    """Apply one batch of updates to ``coords`` in place and return statistics."""
+    """Apply one batch of updates to ``coords`` in place and return statistics.
+
+    Every merge policy works over the compacted touched-point space, so the
+    per-batch cost is O(batch · log batch), independent of the graph size.
+    Passing the run's :class:`UpdateWorkspace` additionally removes the
+    steady-state allocation of all batch-shaped staging arrays.
+    """
     if merge not in ("hogwild", "accumulate", "last_writer"):
         raise ValueError("merge must be 'hogwild', 'accumulate' or 'last_writer'")
     if len(batch) == 0:
         return UpdateStats(0, 0, 0, 0.0, 0.0)
-    point_i, point_j, delta = compute_displacements(coords, batch, eta)
+    n = len(batch)
+    ws = workspace if workspace is not None else UpdateWorkspace(n)
+    point_i, point_j, delta = compute_displacements(coords, batch, eta, workspace=ws)
 
-    all_points = np.concatenate([point_i, point_j])
-    all_deltas = np.concatenate([-delta, delta])
-    n_unique = np.unique(all_points).size
-    n_collisions = int(all_points.size - n_unique)
+    all_points = ws.merge_points[: 2 * n]
+    all_points[:n] = point_i
+    all_points[n:] = point_j
+    all_deltas = ws.merge_delta[: 2 * n]
+    np.negative(delta, out=all_deltas[:n])
+    all_deltas[n:] = delta
+
+    touched, inverse, counts = compact_points(all_points)
+    n_collisions = int(all_points.size - touched.size)
 
     if merge == "accumulate":
-        np.add.at(coords, all_points, all_deltas)
+        coords[touched, 0] += np.bincount(inverse, weights=all_deltas[:, 0])
+        coords[touched, 1] += np.bincount(inverse, weights=all_deltas[:, 1])
     elif merge == "hogwild":
-        summed = np.zeros_like(coords)
-        counts = np.zeros(coords.shape[0], dtype=np.float64)
-        np.add.at(summed, all_points, all_deltas)
-        np.add.at(counts, all_points, 1.0)
-        touched = counts > 0
-        coords[touched] += summed[touched] / counts[touched, None]
+        coords[touched, 0] += np.bincount(inverse, weights=all_deltas[:, 0]) / counts
+        coords[touched, 1] += np.bincount(inverse, weights=all_deltas[:, 1]) / counts
     else:
         # Last writer wins: keep only the final delta targeting each point,
-        # mirroring an unsynchronised store race.
-        reversed_points = all_points[::-1]
-        _, first_in_reversed = np.unique(reversed_points, return_index=True)
-        keep = all_points.size - 1 - first_in_reversed
-        coords[all_points[keep]] += all_deltas[keep]
+        # mirroring an unsynchronised store race. Sequential assignment through
+        # ``inverse`` leaves each slot holding its last occurrence's index.
+        last = np.empty(touched.size, dtype=np.int64)
+        last[inverse] = np.arange(all_points.size)
+        coords[touched] += all_deltas[last]
 
-    mags = np.sqrt(np.einsum("ij,ij->i", delta, delta))
+    mags = np.einsum("ij,ij->i", delta, delta, out=ws.mag[:n])
+    np.sqrt(mags, out=mags)
     return UpdateStats(
-        n_terms=len(batch),
+        n_terms=n,
         n_zero_ref=int((batch.d_ref <= 0).sum()),
         n_point_collisions=n_collisions,
         mean_step_magnitude=float(mags.mean()) if mags.size else 0.0,

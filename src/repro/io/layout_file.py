@@ -91,12 +91,19 @@ def write_tsv(layout: Layout, destination: Union[str, os.PathLike, TextIO]) -> N
 
 
 def read_tsv(source: Union[str, os.PathLike, TextIO]) -> Layout:
-    """Read a layout from the TSV form written by :func:`write_tsv`."""
+    """Read a layout from the TSV form written by :func:`write_tsv`.
+
+    Rows are placed by their ``node_id`` column, so files whose rows were
+    reordered (sorted, filtered then re-merged, …) round-trip correctly. The
+    ids must form the contiguous range ``0..n_nodes-1`` exactly once each;
+    duplicates or gaps raise :class:`LayFormatError`.
+    """
     if hasattr(source, "read"):
         text = source.read()  # type: ignore[union-attr]
     else:
         with open(source, "r", encoding="utf-8") as handle:
             text = handle.read()
+    ids = []
     rows = []
     for line in text.splitlines():
         if not line or line.startswith("#"):
@@ -104,13 +111,26 @@ def read_tsv(source: Union[str, os.PathLike, TextIO]) -> Layout:
         parts = line.split("\t")
         if len(parts) != 5:
             raise LayFormatError(f"bad TSV row: {line!r}")
+        try:
+            ids.append(int(parts[0]))
+        except ValueError:
+            raise LayFormatError(f"bad node_id in TSV row: {line!r}") from None
         rows.append([float(v) for v in parts[1:]])
     if not rows:
         raise LayFormatError("TSV layout contains no rows")
+    node_ids = np.asarray(ids, dtype=np.int64)
+    n = node_ids.size
+    if np.unique(node_ids).size != n:
+        raise LayFormatError("TSV layout contains duplicate node ids")
+    if node_ids.min() != 0 or node_ids.max() != n - 1:
+        raise LayFormatError(
+            f"TSV layout node ids must cover 0..{n - 1} contiguously "
+            f"(got range {node_ids.min()}..{node_ids.max()})"
+        )
     arr = np.asarray(rows, dtype=np.float64)
-    coords = np.empty((2 * arr.shape[0], 2), dtype=np.float64)
-    coords[0::2, 0] = arr[:, 0]
-    coords[0::2, 1] = arr[:, 1]
-    coords[1::2, 0] = arr[:, 2]
-    coords[1::2, 1] = arr[:, 3]
+    coords = np.empty((2 * n, 2), dtype=np.float64)
+    coords[2 * node_ids, 0] = arr[:, 0]
+    coords[2 * node_ids, 1] = arr[:, 1]
+    coords[2 * node_ids + 1, 0] = arr[:, 2]
+    coords[2 * node_ids + 1, 1] = arr[:, 3]
     return Layout(coords)

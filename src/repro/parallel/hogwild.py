@@ -21,6 +21,7 @@ import numpy as np
 
 from ..core.params import LayoutParams
 from ..core.selection import PairSampler
+from ..core.updates import compact_points
 from ..graph.lean import LeanGraph
 from ..prng.xoshiro import Xoshiro256Plus
 
@@ -73,7 +74,8 @@ def measure_collisions(
             2 * batch.node_i + batch.vis_i,
             2 * batch.node_j + batch.vis_j,
         ])
-        unique, counts = np.unique(points, return_counts=True)
+        # Same touched-point compaction the update hot path uses.
+        _, _, counts = compact_points(points)
         colliding_points = counts[counts > 1].sum()
         fractions.append(colliding_points / points.size)
     fractions_arr = np.asarray(fractions)

@@ -276,6 +276,32 @@ class TestCompare:
         report = compare_documents(old, new)
         assert any("numpy" in note for note in report.notes)
 
+    def _wall_pair(self, old_value, new_value):
+        old, new = self.pair(old_value, new_value, "lower")
+        for doc in (old, new):
+            doc["cases"][0]["metrics"]["m"]["deterministic"] = False
+        return old, new
+
+    def test_wall_metric_gated_in_same_environment(self):
+        report = compare_documents(*self._wall_pair(2.0, 2.5), max_regress=0.10)
+        assert [d.status for d in report.deltas] == ["fail"]
+        assert report.exit_code == 1
+
+    def test_wall_metric_downgraded_across_environments(self):
+        old, new = self._wall_pair(2.0, 2.5)
+        new["environment"]["platform"] = "Linux-other-host"
+        report = compare_documents(old, new, max_regress=0.10)
+        assert [d.status for d in report.deltas] == ["warn"]
+        assert report.exit_code == 0
+        assert any("timing environments" in note for note in report.notes)
+
+    def test_deterministic_metric_still_fails_across_environments(self):
+        old, new = self.pair(2.0, 2.5, "lower")
+        new["environment"]["platform"] = "Linux-other-host"
+        report = compare_documents(old, new, max_regress=0.10)
+        assert [d.status for d in report.deltas] == ["fail"]
+        assert report.exit_code == 1
+
     def test_zero_baseline(self):
         report = compare_documents(*self.pair(0.0, 0.5, "lower"), max_regress=0.10)
         assert [d.status for d in report.deltas] == ["fail"]

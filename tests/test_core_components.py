@@ -102,6 +102,29 @@ class TestLayoutState:
         # Unvisited node 2 is placed past the visited span.
         assert layout.coords[4, 0] > layout.coords[2, 0]
 
+    def test_initialize_unvisited_nodes_clear_final_extent(self):
+        from repro.graph import LeanGraph
+        # Node 0 (length 5) is the only on-path node; path-less node 1
+        # (length 2) must start past node 0's *end* (x=5), not its step
+        # start (x=0) — the seed placed it at x=2, inside node 0's segment.
+        g = LeanGraph.from_paths([5, 2], [[0]])
+        layout = initialize_layout(g, seed=0)
+        on_path_end_x = layout.coords[1, 0]
+        appended_start_x = layout.coords[2, 0]
+        assert on_path_end_x == pytest.approx(5.0)
+        assert appended_start_x >= on_path_end_x
+
+    def test_initialize_unvisited_nodes_do_not_overlap_each_other(self):
+        from repro.graph import LeanGraph
+        # A longer path-less node followed by a shorter one: with an
+        # inclusive prefix sum node 2 would land inside node 1's segment.
+        g = LeanGraph.from_paths([3, 5, 2], [[0]])
+        layout = initialize_layout(g, seed=0)
+        spans = [(layout.coords[2 * n, 0], layout.coords[2 * n + 1, 0])
+                 for n in range(3)]
+        for (_, end_a), (start_b, _) in zip(spans, spans[1:]):
+            assert start_b >= end_a
+
     def test_layout_validation(self):
         with pytest.raises(ValueError):
             Layout(np.zeros((3, 2)))
@@ -126,6 +149,8 @@ class TestLayoutState:
         assert aos.shape == (5, 5)
         back = Layout.from_aos_array(aos)
         assert np.allclose(back.coords, layout.coords)
+        # A layout rebuilt from packed AoS records carries the AoS tag.
+        assert back.data_layout == NodeDataLayout.AOS
 
     def test_aos_requires_matching_lengths(self, tiny_graph):
         layout = initialize_layout(tiny_graph, seed=3)

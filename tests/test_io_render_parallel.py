@@ -71,6 +71,31 @@ class TestLayoutIO:
         with pytest.raises(LayFormatError):
             read_tsv(io.StringIO("#only a header\n"))
 
+    def test_tsv_rows_placed_by_node_id(self, tiny_graph):
+        # Reordered rows must land on their node's slots, not on file order.
+        layout = initialize_layout(tiny_graph, seed=2)
+        buf = io.StringIO()
+        write_tsv(layout, buf)
+        lines = buf.getvalue().strip().splitlines()
+        header, rows = lines[0], lines[1:]
+        shuffled = "\n".join([header] + rows[::-1]) + "\n"
+        back = read_tsv(io.StringIO(shuffled))
+        assert np.allclose(back.coords, layout.coords, atol=1e-5)
+
+    def test_tsv_duplicate_node_id(self):
+        text = ("#h\n0\t0\t0\t1\t1\n0\t2\t2\t3\t3\n")
+        with pytest.raises(LayFormatError, match="duplicate"):
+            read_tsv(io.StringIO(text))
+
+    def test_tsv_non_contiguous_node_ids(self):
+        text = ("#h\n0\t0\t0\t1\t1\n2\t2\t2\t3\t3\n")
+        with pytest.raises(LayFormatError, match="contiguous"):
+            read_tsv(io.StringIO(text))
+
+    def test_tsv_non_integer_node_id(self):
+        with pytest.raises(LayFormatError, match="node_id"):
+            read_tsv(io.StringIO("#h\nx\t0\t0\t1\t1\n"))
+
 
 class TestRendering:
     def test_svg_contains_all_segments(self, tiny_graph):
