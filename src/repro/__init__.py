@@ -9,6 +9,8 @@ and every substrate its evaluation depends on:
 * :mod:`repro.prng` — Xoshiro256+ / XORWOW generators with AoS/SoA states;
 * :mod:`repro.core` — the CPU baseline, the batched PyTorch-style engine and
   the optimized GPU kernel with the paper's three optimisations;
+* :mod:`repro.backend` — pluggable array backends for the hot path (NumPy
+  always; Numba / CuPy registered lazily when available);
 * :mod:`repro.gpusim` — the GPU execution-model simulator (coalescing, caches,
   warp divergence, analytical timing) standing in for the CUDA hardware;
 * :mod:`repro.metrics` — path stress and sampled path stress;
@@ -27,12 +29,16 @@ Quickstart::
                           params=LayoutParams(iter_max=10, steps_per_step_unit=2.0))
     print(sampled_path_stress(result.layout, graph).value)
 """
-from . import bench, core, gpusim, graph, io, metrics, parallel, prng, render, synth
+from . import backend, bench, core, gpusim, graph, io, metrics, parallel, prng, render, synth
+from .backend import available_backends, get_backend
 from .core import LayoutParams, layout_graph, make_engine
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "backend",
+    "available_backends",
+    "get_backend",
     "bench",
     "core",
     "gpusim",

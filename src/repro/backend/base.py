@@ -1,0 +1,180 @@
+"""The :class:`ArrayBackend` contract every execution backend implements.
+
+A backend bundles an array-API-style namespace (``backend.xp``) with the
+handful of operations the update hot path cannot express portably through
+that namespace alone: touched-point compaction, the three write-merge
+scatters, row-wise squared norms, and host/device transfers. The generic
+implementations here are written against ``self.xp`` only, so a subclass
+that merely swaps the namespace (CuPy) inherits working kernels, while a
+subclass keeping NumPy arrays (Numba) overrides just the merge kernels it
+accelerates.
+
+Two namespaces are exposed on purpose:
+
+* ``xp`` — where the *coordinate state* lives and the update arithmetic
+  runs. This is the namespace :class:`~repro.core.updates.UpdateWorkspace`
+  allocates its scratch buffers from.
+* ``host_xp`` — where PRNG-driven *selection* runs. Term selection consumes
+  multi-stream PRNGs that produce host arrays, so every current backend
+  keeps selection on NumPy and transfers the selected batch to ``xp`` inside
+  :func:`~repro.core.updates.compute_displacements` (a no-op when
+  ``xp is numpy``). A future device-resident sampler would override this.
+
+Determinism contract: on the default NumPy backend every operation here must
+be *the exact call sequence* the pre-backend code issued, so layouts — and
+therefore the committed smoke baseline — are byte-identical. New backends
+are held to the weaker cross-backend contract enforced by the registry
+self-test and ``tests/test_conformance.py``: within 1e-9 of the NumPy
+reference for every engine × merge policy.
+"""
+from __future__ import annotations
+
+from typing import Any, Tuple
+
+import numpy as np
+
+__all__ = ["ArrayBackend", "MERGE_POLICIES"]
+
+#: The write-merge policies every backend must implement in ``merge_scatter``.
+MERGE_POLICIES = ("hogwild", "accumulate", "last_writer")
+
+
+class ArrayBackend:
+    """Array namespace plus the non-portable kernels of the update hot path.
+
+    Subclasses set :attr:`name` and :attr:`xp`; the generic method bodies
+    below only use ``self.xp`` and standard array-API-compatible calls, so a
+    NumPy-like namespace gets a complete backend for free.
+    """
+
+    #: Registry name; subclasses override.
+    name = "abstract"
+
+    #: Array namespace holding coordinate state and workspace buffers.
+    xp: Any = None
+
+    #: Namespace for PRNG-driven selection (host-side for all current backends).
+    host_xp: Any = np
+
+    # ------------------------------------------------------------- memory
+    def empty(self, shape, dtype) -> Any:
+        """Uninitialised array in this backend's memory space."""
+        return self.xp.empty(shape, dtype=dtype)
+
+    def asarray(self, a, dtype=None) -> Any:
+        """Coerce ``a`` into this backend's array type (no copy if possible)."""
+        if dtype is None:
+            return self.xp.asarray(a)
+        return self.xp.asarray(a, dtype=dtype)
+
+    def from_host(self, a: np.ndarray) -> Any:
+        """Move a host (NumPy) array into this backend's memory space.
+
+        Host-resident backends return the input array itself so in-place
+        updates remain visible to the caller.
+        """
+        return self.xp.asarray(a)
+
+    def to_host(self, a) -> np.ndarray:
+        """Move a backend array back to host memory (identity when host-resident)."""
+        return np.asarray(a)
+
+    def synchronize(self) -> None:
+        """Block until queued device work is complete (no-op on host backends)."""
+
+    # ---------------------------------------------------------- hot path
+    def compact_points(self, points) -> Tuple[Any, Any, Any]:
+        """``(unique_points, inverse, counts)`` of a flat point-index array."""
+        xp = self.xp
+        points = xp.asarray(points)
+        unique_points, inverse = xp.unique(points, return_inverse=True)
+        counts = xp.bincount(inverse, minlength=unique_points.size)
+        return unique_points, inverse, counts
+
+    def rowwise_sqnorm(self, a, out=None) -> Any:
+        """Per-row squared L2 norm of an ``(n, 2)`` array."""
+        result = self.xp.sum(a * a, axis=1)
+        if out is not None:
+            out[...] = result
+            return out
+        return result
+
+    def merge_scatter(self, coords, touched, inverse, counts, all_deltas,
+                      merge: str) -> None:
+        """Merge per-term deltas into ``coords`` over the compacted point space.
+
+        ``touched``/``inverse``/``counts`` come from :meth:`compact_points`
+        over the term endpoints; ``all_deltas`` holds one delta row per
+        endpoint occurrence. Mutates ``coords`` in place.
+        """
+        xp = self.xp
+        m = int(touched.size)
+        if merge == "accumulate":
+            coords[touched, 0] += xp.bincount(inverse, weights=all_deltas[:, 0],
+                                              minlength=m)
+            coords[touched, 1] += xp.bincount(inverse, weights=all_deltas[:, 1],
+                                              minlength=m)
+        elif merge == "hogwild":
+            coords[touched, 0] += xp.bincount(inverse, weights=all_deltas[:, 0],
+                                              minlength=m) / counts
+            coords[touched, 1] += xp.bincount(inverse, weights=all_deltas[:, 1],
+                                              minlength=m) / counts
+        elif merge == "last_writer":
+            # Sequential assignment through ``inverse`` leaves each slot
+            # holding its last occurrence's index (the store race model).
+            last = xp.empty(m, dtype=xp.int64)
+            last[inverse] = xp.arange(inverse.shape[0])
+            coords[touched] += all_deltas[last]
+        else:  # pragma: no cover - callers validate before dispatch
+            raise ValueError(f"unknown merge policy {merge!r}")
+
+    # ----------------------------------------------------------- checking
+    def self_test(self) -> None:
+        """Cheap registration-time conformance check against NumPy reference.
+
+        Runs each hot-path kernel on a small fixed input and compares with a
+        plain NumPy computation. A backend whose toolchain is present but
+        broken (driver mismatch, JIT failure, …) fails here and is reported
+        unavailable instead of corrupting layouts at run time.
+        """
+        rng = np.random.default_rng(20240)
+        points = np.array([4, 1, 4, 7, 1, 4, 0, 7], dtype=np.int64)
+        deltas = rng.normal(size=(points.size, 2))
+        coords0 = rng.normal(size=(9, 2))
+
+        touched, inverse, counts = self.compact_points(self.asarray(points))
+        np.testing.assert_array_equal(self.to_host(touched), [0, 1, 4, 7])
+        np.testing.assert_array_equal(self.to_host(counts), [1, 2, 3, 2])
+        np.testing.assert_array_equal(np.asarray(points),
+                                      self.to_host(touched)[self.to_host(inverse)])
+
+        for merge in MERGE_POLICIES:
+            expect = coords0.copy()
+            if merge == "accumulate":
+                np.add.at(expect, points, deltas)
+            elif merge == "hogwild":
+                summed = np.zeros_like(expect)
+                cnt = np.zeros(expect.shape[0])
+                np.add.at(summed, points, deltas)
+                np.add.at(cnt, points, 1.0)
+                mask = cnt > 0
+                expect[mask] += summed[mask] / cnt[mask, None]
+            else:  # last writer: final occurrence per point wins
+                seen = {}
+                for k, p in enumerate(points):
+                    seen[int(p)] = k
+                for p, k in seen.items():
+                    expect[p] += deltas[k]
+            got = self.from_host(coords0.copy())
+            self.merge_scatter(got, touched, inverse, counts,
+                               self.asarray(deltas), merge)
+            np.testing.assert_allclose(self.to_host(got), expect,
+                                       atol=1e-12, rtol=0)
+
+        sq = self.rowwise_sqnorm(self.asarray(deltas))
+        np.testing.assert_allclose(self.to_host(sq), (deltas * deltas).sum(axis=1),
+                                   atol=1e-12, rtol=0)
+        self.synchronize()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ArrayBackend {self.name}>"

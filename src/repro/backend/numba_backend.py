@@ -1,0 +1,81 @@
+"""Optional Numba backend: JIT-compiled write-merge kernels on host arrays.
+
+Coordinate state stays in NumPy (``xp is numpy``), so selection, displacement
+arithmetic and the workspace are shared with the reference backend verbatim;
+what Numba replaces is the merge scatter — the one stage whose NumPy spelling
+needs two ``bincount`` passes plus fancy-indexed read-modify-write. The
+fused ``@njit`` loops below make a single pass over the batch and a single
+pass over the touched points, mirroring how the paper's CUDA kernel merges
+per-thread displacements without staging arrays (Sec. V-B).
+
+Importing this module raises :class:`ImportError` when numba is not
+installed; the registry treats that (and any JIT failure surfaced by the
+registration self-test) as "backend unavailable" and skips it cleanly.
+"""
+from __future__ import annotations
+
+import numba  # the ImportError from a missing numba is the availability probe
+import numpy as np
+
+from .numpy_backend import NumpyBackend
+
+__all__ = ["NumbaBackend"]
+
+_MODES = {"accumulate": 0, "hogwild": 1, "last_writer": 2}
+
+
+@numba.njit(cache=False)
+def _merge_kernel(coords, touched, inverse, counts, all_deltas, mode):  # pragma: no cover - numba-compiled
+    """Fused compacted-space merge: one pass over terms, one over touched points."""
+    m = touched.shape[0]
+    if mode == 2:  # last writer: final occurrence per compacted slot wins
+        last = np.empty(m, dtype=np.int64)
+        for k in range(inverse.shape[0]):
+            last[inverse[k]] = k
+        for s in range(m):
+            p = touched[s]
+            coords[p, 0] += all_deltas[last[s], 0]
+            coords[p, 1] += all_deltas[last[s], 1]
+        return
+    acc = np.zeros((m, 2), dtype=np.float64)
+    for k in range(inverse.shape[0]):
+        s = inverse[k]
+        acc[s, 0] += all_deltas[k, 0]
+        acc[s, 1] += all_deltas[k, 1]
+    if mode == 1:  # hogwild: average colliding displacements per point
+        for s in range(m):
+            p = touched[s]
+            c = counts[s]
+            coords[p, 0] += acc[s, 0] / c
+            coords[p, 1] += acc[s, 1] / c
+    else:  # accumulate: gradient sum
+        for s in range(m):
+            p = touched[s]
+            coords[p, 0] += acc[s, 0]
+            coords[p, 1] += acc[s, 1]
+
+
+class NumbaBackend(NumpyBackend):
+    """Host backend with JIT-fused merge kernels (requires ``numba``).
+
+    Subclasses the reference backend: transfers, compaction and norms are
+    *inherited*, not copied, so the two host backends cannot drift apart in
+    anything but the merge kernels replaced below.
+    """
+
+    name = "numba"
+
+    def merge_scatter(self, coords, touched, inverse, counts, all_deltas,
+                      merge: str) -> None:
+        try:
+            mode = _MODES[merge]
+        except KeyError:  # pragma: no cover - callers validate before dispatch
+            raise ValueError(f"unknown merge policy {merge!r}") from None
+        _merge_kernel(
+            coords,
+            np.ascontiguousarray(touched, dtype=np.int64),
+            np.ascontiguousarray(inverse, dtype=np.int64),
+            np.ascontiguousarray(counts, dtype=np.float64),
+            np.ascontiguousarray(all_deltas, dtype=np.float64),
+            mode,
+        )

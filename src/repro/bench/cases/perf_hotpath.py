@@ -68,18 +68,27 @@ def run_apply_batch(ctx) -> CaseResult:
     rng = Xoshiro256Plus(ctx.seed_for("perf_apply_batch/sample"), n_streams=_BATCH)
     batch = sampler.sample(rng, _BATCH, iteration=0)
     coords = initialize_layout(graph, seed=ctx.seed_for("perf_apply_batch/init")).coords
-    workspace = UpdateWorkspace(_BATCH)
+    # The workspace carries the run's backend (``--backend`` / REPRO_BACKEND)
+    # and the coordinate state is uploaded into its memory space, so these
+    # wall times measure whichever merge kernels the run selected. The
+    # synchronize() in the timed closure makes device backends report
+    # completed work, not launch overhead; on host backends both transfer
+    # and sync are identities.
+    backend = ctx.backend
+    workspace = UpdateWorkspace(_BATCH, backend=backend)
 
     out = CaseResult(graph_properties=ctx.graph_properties(graph))
-    probe = apply_batch(coords.copy(), batch, eta=1.0, workspace=workspace)
+    probe = apply_batch(backend.from_host(coords.copy()), batch, eta=1.0,
+                        workspace=workspace)
     out.add("point_collisions", probe.n_point_collisions, direction="info")
     rows = []
     timings = {}
     for merge in ("hogwild", "accumulate", "last_writer"):
-        working = coords.copy()
+        working = backend.from_host(coords.copy())
 
         def one_batch(working=working, merge=merge):
             apply_batch(working, batch, eta=1.0, merge=merge, workspace=workspace)
+            backend.synchronize()
 
         ms = _best_ms(one_batch, inner=200)
         timings[merge] = ms

@@ -20,10 +20,11 @@ the paper-calibrated graph shapes.
 from __future__ import annotations
 
 import zlib
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
 
+from ..backend import ArrayBackend, get_backend, resolve_backend_name
 from ..core.params import LayoutParams
 from ..graph.lean import LeanGraph
 from ..prng.splitmix import SplitMix64
@@ -45,10 +46,15 @@ DEFAULT_MASTER_SEED = 9399
 class BenchContext:
     """Datasets, layout parameters and derived seeds shared by bench cases."""
 
-    def __init__(self, master_seed: int = DEFAULT_MASTER_SEED) -> None:
+    def __init__(self, master_seed: int = DEFAULT_MASTER_SEED,
+                 backend: Optional[str] = None) -> None:
         if not 0 <= int(master_seed) < 2**63:
             raise ValueError("master_seed must be a non-negative 63-bit integer")
         self.master_seed = int(master_seed)
+        # Resolved eagerly (name + instance) so an unavailable backend fails
+        # before any case runs, with the registry's recorded reason.
+        self.backend_name = resolve_backend_name(backend)
+        self.backend: ArrayBackend = get_backend(self.backend_name)
         self._graphs: Dict[str, object] = {}
 
     # ------------------------------------------------------------------ seeds
@@ -71,19 +77,20 @@ class BenchContext:
         calibrated legacy trajectories exactly.
         """
         return LayoutParams(iter_max=10, steps_per_step_unit=2.0,
-                            seed=self.master_seed)
+                            seed=self.master_seed, backend=self.backend_name)
 
     @property
     def quality_bench_params(self) -> LayoutParams:
         """Stronger schedule used when layout quality (not speed) is measured."""
         return LayoutParams(iter_max=20, steps_per_step_unit=4.0,
-                            seed=self.master_seed)
+                            seed=self.master_seed, backend=self.backend_name)
 
     @property
     def smoke_params(self) -> LayoutParams:
         """Minimal schedule for the CI smoke gate (tiny graphs, seconds total)."""
         return LayoutParams(iter_max=6, steps_per_step_unit=1.5,
-                            seed=self.seed_for("params/smoke"))
+                            seed=self.seed_for("params/smoke"),
+                            backend=self.backend_name)
 
     # --------------------------------------------------------------- datasets
     def _cached(self, key: str, build):

@@ -88,6 +88,7 @@ def run_suite(
     registry: Optional[BenchRegistry] = None,
     echo: Callable[[str], None] = print,
     show_tables: bool = False,
+    backend: Optional[str] = None,
 ) -> Dict:
     """Run every case of ``suite`` and return (and optionally write) results.
 
@@ -103,9 +104,9 @@ def run_suite(
     if not cases:
         raise SuiteRunError(f"suite {suite!r} resolved to zero cases")
 
-    ctx = BenchContext(master_seed=master_seed)
+    ctx = BenchContext(master_seed=master_seed, backend=backend)
     echo(f"bench run: suite={suite} cases={len(cases)} master_seed={master_seed} "
-         f"warmup={warmup} repeats={repeats}")
+         f"warmup={warmup} repeats={repeats} backend={ctx.backend_name}")
 
     case_docs = []
     suite_t0 = time.perf_counter()
@@ -145,7 +146,11 @@ def run_suite(
         "suite": suite,
         "master_seed": master_seed,
         "environment": environment_fingerprint(),
-        "runner": {"warmup": warmup, "repeats": repeats},
+        # ``backend`` is runner metadata, not part of the timing-environment
+        # fingerprint: documents produced before the key existed still
+        # compare cleanly against new ones.
+        "runner": {"warmup": warmup, "repeats": repeats,
+                   "backend": ctx.backend_name},
         "cases": case_docs,
     }
     echo(f"suite {suite!r} complete in {time.perf_counter() - suite_t0:.2f}s: "

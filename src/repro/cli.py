@@ -24,6 +24,7 @@ import sys
 import time
 from typing import List, Optional, Sequence
 
+from .backend import backend_names
 from .core import GpuKernelConfig, LayoutParams, layout_graph
 from .graph import LeanGraph, parse_gfa, validate_lean
 from .io import write_lay, write_tsv
@@ -58,6 +59,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--steps-factor", type=float, default=10.0,
                         help="updates per iteration as a multiple of total path steps")
     parser.add_argument("--seed", type=int, default=9399, help="PRNG seed")
+    parser.add_argument("--backend", default=None, choices=list(backend_names()),
+                        help="array backend for the update hot path (default: "
+                             "$REPRO_BACKEND or numpy; unavailable backends "
+                             "fail fast with the recorded reason)")
     parser.add_argument("--threads", type=int, default=1,
                         help="emulated Hogwild worker count for the CPU engine")
     parser.add_argument("--out-lay", help="write the layout to a .lay binary file")
@@ -94,9 +99,13 @@ def layout_main(argv: Optional[Sequence[str]] = None) -> int:
         steps_per_step_unit=args.steps_factor,
         seed=args.seed,
         n_threads=args.threads,
+        backend=args.backend,
     )
+    from .backend import resolve_backend_name
+
     print(f"laying out {source_name}: {graph.n_nodes} nodes, {graph.n_paths} paths, "
-          f"{graph.total_steps} steps, engine={engine}")
+          f"{graph.total_steps} steps, engine={engine}, "
+          f"backend={resolve_backend_name(args.backend)}")
     t0 = time.perf_counter()
     result = layout_graph(graph, engine=engine, params=params,
                           gpu_config=GpuKernelConfig() if engine == "gpu" else None)
@@ -141,6 +150,9 @@ def build_bench_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--repeats", type=int, default=1,
                        help="measured runs per case; >=2 also verifies metric "
                             "determinism (default: 1)")
+    run_p.add_argument("--backend", default=None, choices=list(backend_names()),
+                       help="array backend threaded through every case's layout "
+                            "params (default: $REPRO_BACKEND or numpy)")
     run_p.add_argument("--out", default=None,
                        help="output path (default: BENCH_<suite>.json in the CWD)")
     run_p.add_argument("--tables", action="store_true",
@@ -166,6 +178,7 @@ def build_bench_parser() -> argparse.ArgumentParser:
 
 def bench_main(argv: Optional[Sequence[str]] = None) -> int:
     """``repro bench`` entry point; returns the process exit code."""
+    from .backend import BackendUnavailable
     from .bench.compare import compare_files, parse_threshold
     from .bench.registry import BenchError, load_builtin_cases
     from .bench.runner import SuiteRunError, run_suite
@@ -182,6 +195,7 @@ def bench_main(argv: Optional[Sequence[str]] = None) -> int:
                 repeats=args.repeats,
                 out_path=args.out,
                 show_tables=args.tables,
+                backend=args.backend,
             )
             return 0
         if args.bench_command == "compare":
@@ -201,7 +215,8 @@ def bench_main(argv: Optional[Sequence[str]] = None) -> int:
             return 0
     except BrokenPipeError:
         return 0
-    except (BenchError, SuiteRunError, SchemaError, ValueError, OSError) as exc:
+    except (BenchError, SuiteRunError, SchemaError, BackendUnavailable,
+            ValueError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     raise AssertionError("unreachable")

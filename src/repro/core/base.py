@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 
+from ..backend import ArrayBackend, get_backend
 from ..graph.lean import LeanGraph
 from ..graph.path_index import PathIndex
 from ..prng.xoshiro import Xoshiro256Plus
@@ -81,8 +82,12 @@ class LayoutEngine:
     def __init__(self, graph: LeanGraph, params: Optional[LayoutParams] = None):
         self.graph = graph
         self.params = params if params is not None else LayoutParams()
+        # Resolved once per engine: params.backend -> REPRO_BACKEND -> numpy.
+        # An unavailable backend fails here, before any work is done.
+        self.backend: ArrayBackend = get_backend(self.params.backend)
         self.index = PathIndex(graph)
-        self.sampler = PairSampler(graph, self.params, self.index)
+        self.sampler = PairSampler(graph, self.params, self.index,
+                                   backend=self.backend)
         self.schedule = make_schedule(graph, self.params)
         self._counters: Dict[str, float] = {}
 
@@ -111,9 +116,11 @@ class LayoutEngine:
         Engines whose :meth:`on_batch` expands batches beyond the planned
         size (e.g. warp-shuffle data reuse) override this to pre-size the
         buffers; the workspace also grows on demand, so an override is an
-        optimisation, not a correctness requirement.
+        optimisation, not a correctness requirement. The workspace carries
+        the engine's backend, which fixes where its buffers are allocated
+        and which kernels every ``apply_batch`` of the run dispatches to.
         """
-        return UpdateWorkspace(max(plan) if plan else 1)
+        return UpdateWorkspace(max(plan) if plan else 1, backend=self.backend)
 
     # ------------------------------------------------------------------ run
     def run(self, initial: Optional[Layout] = None) -> LayoutResult:
@@ -124,7 +131,10 @@ class LayoutEngine:
             if initial is not None
             else initialize_layout(self.graph, seed=params.seed, data_layout=self.data_layout())
         )
-        coords = layout.coords
+        # Coordinate state lives in the backend's memory space for the whole
+        # run: one upload here, one download at the end (both identities on
+        # host backends, where ``coords`` *is* ``layout.coords``).
+        coords = self.backend.from_host(layout.coords)
         rng = self.make_rng()
         steps_per_iter = params.steps_per_iteration(self.graph.total_steps)
         # The plan depends only on the per-iteration step budget, so it is
@@ -150,7 +160,8 @@ class LayoutEngine:
                 n_collisions += stats.n_point_collisions
                 n_terms_iter += stats.n_terms
                 if params.record_history and batch_index == 0:
-                    stress_probe += batch_stress(coords, batch)
+                    stress_probe += batch_stress(coords, batch,
+                                                 backend=self.backend)
                     probe_count += 1
             total_terms += n_terms_iter
             if params.record_history:
@@ -163,7 +174,8 @@ class LayoutEngine:
                         n_collisions=n_collisions,
                     )
                 )
-        result_layout = Layout(coords, self.data_layout())
+        self.backend.synchronize()
+        result_layout = Layout(self.backend.to_host(coords), self.data_layout())
         return LayoutResult(
             layout=result_layout,
             params=params,
@@ -177,7 +189,7 @@ class LayoutEngine:
     # -------------------------------------------------------------- helpers
     def merge_policy(self) -> str:
         """Write-merge policy used for colliding in-batch updates."""
-        return "hogwild"
+        return self.params.merge_policy
 
     def data_layout(self) -> NodeDataLayout:
         """Memory organisation this engine declares for node data."""

@@ -124,16 +124,19 @@ class SerialReferenceEngine(LayoutEngine):
         from .layout import initialize_layout  # local import to avoid cycle noise
 
         layout = initialize_layout(self.graph, seed=params.seed)
-        coords = layout.coords
+        coords = self.backend.from_host(layout.coords)
         rng = self.make_rng()
         steps = params.steps_per_iteration(self.graph.total_steps)
-        workspace = UpdateWorkspace(steps)
+        workspace = UpdateWorkspace(steps, backend=self.backend)
         total = 0
         for iteration in range(params.iter_max):
             eta = float(self.schedule[iteration])
             batch = self.sampler.sample_fixed_hop(rng, steps, hop)
-            apply_batch(coords, batch, eta, workspace=workspace)
+            apply_batch(coords, batch, eta, merge=self.merge_policy(),
+                        workspace=workspace)
             total += len(batch)
+        if coords is not layout.coords:  # device backends: download once
+            layout.coords[...] = self.backend.to_host(coords)
         return LayoutResult(
             layout=layout,
             params=params,

@@ -161,7 +161,8 @@ class OptimizedGpuEngine(LayoutEngine):
         # on_batch, so the scratch buffers are pre-sized to the expanded
         # batches instead of growing on the first wave.
         base = max(plan) if plan else 1
-        return UpdateWorkspace(base * self.config.data_reuse_factor)
+        return UpdateWorkspace(base * self.config.data_reuse_factor,
+                               backend=self.backend)
 
     def draw_batch(
         self, rng: Xoshiro256Plus, batch_size: int, iteration: int, batch_index: int

@@ -58,6 +58,16 @@ class LayoutParams:
     record_history: bool = False
     """Whether engines record per-iteration stress snapshots."""
 
+    merge_policy: str = "hogwild"
+    """Write-merge policy for colliding in-batch updates (``hogwild`` /
+    ``accumulate`` / ``last_writer``; see :mod:`repro.core.updates`)."""
+
+    backend: Optional[str] = None
+    """Execution backend name (see :mod:`repro.backend`). ``None`` resolves
+    via the ``REPRO_BACKEND`` environment variable, then ``"numpy"``; the
+    name is validated when the engine is constructed, so an unavailable
+    backend fails fast with the recorded reason."""
+
     def __post_init__(self) -> None:
         if self.iter_max < 1:
             raise ValueError("iter_max must be >= 1")
@@ -77,6 +87,12 @@ class LayoutParams:
             raise ValueError("n_threads must be >= 1")
         if self.batch_size < 1:
             raise ValueError("batch_size must be >= 1")
+        if self.merge_policy not in ("hogwild", "accumulate", "last_writer"):
+            raise ValueError(
+                "merge_policy must be 'hogwild', 'accumulate' or 'last_writer'")
+        if self.backend is not None and (not isinstance(self.backend, str)
+                                         or not self.backend):
+            raise ValueError("backend must be None or a non-empty backend name")
 
     def with_(self, **kwargs) -> "LayoutParams":
         """Return a copy with the given fields replaced."""

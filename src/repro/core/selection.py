@@ -13,6 +13,12 @@ The paper identifies this randomness as both essential for quality
 (Sec. III-C, Fig. 6) and the source of the workload's irregular memory
 accesses. All selection here is vectorised over a batch of steps, driven by
 any of the multi-stream PRNGs in :mod:`repro.prng`.
+
+Selection runs on the sampler backend's *host* namespace
+(``backend.host_xp``): the PRNG streams produce host arrays and the selected
+:class:`StepBatch` stays host-resident — device backends upload it per batch
+inside the update kernels. The dispatch seam is here so a future
+device-resident sampler only has to override ``host_xp``.
 """
 from __future__ import annotations
 
@@ -21,6 +27,7 @@ from typing import Optional, Protocol
 
 import numpy as np
 
+from ..backend import ArrayBackend, get_backend
 from ..graph.lean import LeanGraph
 from ..graph.path_index import PathIndex
 from .params import LayoutParams
@@ -76,39 +83,44 @@ class StepBatch:
 
 
 def zipf_hop_distances(
-    uniform: np.ndarray, theta: float, space_max: int
+    uniform: np.ndarray, theta: float, space_max: int, xp=np
 ) -> np.ndarray:
     """Map uniform draws to Zipf(θ)-distributed hop distances in [1, space_max].
 
     Uses the standard inverse-CDF approximation for the (truncated) Zipf
     distribution ("rejection-inversion" simplified to its inversion step),
     which is what odgi-layout's ``dirty_zipfian_int_distribution`` computes.
-    For θ→1 the distribution approaches ``P(k) ∝ 1/k``.
+    For θ→1 the distribution approaches ``P(k) ∝ 1/k``. ``xp`` is the array
+    namespace to compute in (the sampler passes its backend's host namespace).
     """
     if space_max < 1:
         raise ValueError("space_max must be >= 1")
     if theta <= 0:
         raise ValueError("theta must be positive")
-    u = np.clip(np.asarray(uniform, dtype=np.float64), 0.0, 1.0 - 1e-12)
+    u = xp.clip(xp.asarray(uniform, dtype=np.float64), 0.0, 1.0 - 1e-12)
     if space_max == 1:
-        return np.ones_like(u, dtype=np.int64)
+        return xp.ones_like(u, dtype=np.int64)
     one_minus_theta = 1.0 - theta
     if abs(one_minus_theta) < 1e-9:
         # θ == 1: CDF(k) ∝ log(k), invert directly.
-        k = np.exp(u * np.log(space_max + 1.0))
+        k = xp.exp(u * xp.log(space_max + 1.0))
     else:
         h_max = ((space_max + 1.0) ** one_minus_theta - 1.0) / one_minus_theta
         h = u * h_max
         k = (h * one_minus_theta + 1.0) ** (1.0 / one_minus_theta)
-    return np.clip(np.floor(k).astype(np.int64), 1, space_max)
+    return xp.clip(xp.floor(k).astype(np.int64), 1, space_max)
 
 
 class PairSampler:
     """Vectorised sampler of update terms over a lean graph."""
 
-    def __init__(self, graph: LeanGraph, params: LayoutParams, index: Optional[PathIndex] = None):
+    def __init__(self, graph: LeanGraph, params: LayoutParams,
+                 index: Optional[PathIndex] = None,
+                 backend: Optional[ArrayBackend] = None):
         self.graph = graph
         self.params = params
+        self.backend = backend if backend is not None else get_backend(params.backend)
+        self._xp = self.backend.host_xp
         self.index = index if index is not None else PathIndex(graph)
         if graph.total_steps == 0:
             raise ValueError("cannot sample node pairs from a graph without path steps")
@@ -139,10 +151,11 @@ class PairSampler:
         # of lines 12-13. Drawing all 8 at once halves the Python-level call
         # overhead while consuming the PRNG streams in the exact order the
         # historical two-call scheme did, so sampled batches are unchanged.
+        xp = self._xp
         draws = self._uniforms(rng, batch_size, 8)
         # Line 5: path selection proportional to step count.
         if path_override is not None:
-            paths = np.asarray(path_override, dtype=np.int64)
+            paths = xp.asarray(path_override, dtype=np.int64)
             if paths.size != batch_size:
                 raise ValueError("path_override must have one entry per term")
         else:
@@ -151,36 +164,37 @@ class PairSampler:
         counts = self._counts[paths]
         # Line 6: cooling decision = (iter >= iter_max/2) or coin flip.
         if cooling_mask is not None:
-            cooling = np.asarray(cooling_mask, dtype=bool)
+            cooling = xp.asarray(cooling_mask, dtype=bool)
             if cooling.size != batch_size:
                 raise ValueError("cooling_mask must have one entry per term")
         elif forced_cooling is None:
             always = iteration >= self.params.first_cooling_iteration()
-            cooling = np.full(batch_size, always, dtype=bool) | (draws[1] < 0.5)
+            cooling = xp.full(batch_size, always, dtype=bool) | (draws[1] < 0.5)
         else:
-            cooling = np.full(batch_size, bool(forced_cooling))
+            cooling = xp.full(batch_size, bool(forced_cooling))
         # First step of the pair: uniform within the path.
-        local_i = np.minimum((draws[2] * counts).astype(np.int64), counts - 1)
+        local_i = xp.minimum((draws[2] * counts).astype(np.int64), counts - 1)
         # Second step: uniform (exploration) or Zipf hop (cooling).
-        local_j_uniform = np.minimum((draws[3] * counts).astype(np.int64), counts - 1)
-        hops = zipf_hop_distances(draws[4], self.params.zipf_theta, self.params.zipf_space_max)
-        hops = np.minimum(hops, np.maximum(counts - 1, 1))
-        direction = np.where(draws[5] < 0.5, -1, 1)
+        local_j_uniform = xp.minimum((draws[3] * counts).astype(np.int64), counts - 1)
+        hops = zipf_hop_distances(draws[4], self.params.zipf_theta,
+                                  self.params.zipf_space_max, xp=xp)
+        hops = xp.minimum(hops, xp.maximum(counts - 1, 1))
+        direction = xp.where(draws[5] < 0.5, -1, 1)
         local_j_zipf = local_i + direction * hops
         # Reflect out-of-range hops back into the path.
-        local_j_zipf = np.where(local_j_zipf < 0, local_i + hops, local_j_zipf)
-        local_j_zipf = np.where(local_j_zipf >= counts, local_i - hops, local_j_zipf)
-        local_j_zipf = np.clip(local_j_zipf, 0, np.maximum(counts - 1, 0))
-        local_j = np.where(cooling, local_j_zipf, local_j_uniform)
+        local_j_zipf = xp.where(local_j_zipf < 0, local_i + hops, local_j_zipf)
+        local_j_zipf = xp.where(local_j_zipf >= counts, local_i - hops, local_j_zipf)
+        local_j_zipf = xp.clip(local_j_zipf, 0, xp.maximum(counts - 1, 0))
+        local_j = xp.where(cooling, local_j_zipf, local_j_uniform)
         # Avoid degenerate i == j pairs where the path has room.
         same = (local_j == local_i) & (counts > 1)
-        local_j = np.where(same, (local_i + 1) % counts, local_j)
+        local_j = xp.where(same, (local_i + 1) % counts, local_j)
 
         flat_i = starts + local_i
         flat_j = starts + local_j
         node_i = self.graph.step_nodes[flat_i]
         node_j = self.graph.step_nodes[flat_j]
-        d_ref = np.abs(
+        d_ref = xp.abs(
             self.graph.step_positions[flat_i] - self.graph.step_positions[flat_j]
         ).astype(np.float64)
         # Lines 12-13: endpoint coin flips (vectors 6-7 of the bulk draw).
@@ -208,15 +222,16 @@ class PairSampler:
             raise ValueError("hop must be >= 1")
         # Single 4-vector bulk draw (path, step, both endpoints) — same stream
         # consumption order as the historical two 2-vector draws.
+        xp = self._xp
         draws = self._uniforms(rng, batch_size, 4)
         paths = self.index.sample_paths(draws[0])
         starts = self._offsets[paths]
         counts = self._counts[paths]
-        local_i = np.minimum((draws[1] * counts).astype(np.int64), counts - 1)
-        local_j = np.clip(local_i + hop, 0, np.maximum(counts - 1, 0))
+        local_i = xp.minimum((draws[1] * counts).astype(np.int64), counts - 1)
+        local_j = xp.clip(local_i + hop, 0, xp.maximum(counts - 1, 0))
         flat_i = starts + local_i
         flat_j = starts + local_j
-        d_ref = np.abs(
+        d_ref = xp.abs(
             self.graph.step_positions[flat_i] - self.graph.step_positions[flat_j]
         ).astype(np.float64)
         vis = draws[2:]

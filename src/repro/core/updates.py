@@ -31,10 +31,16 @@ operate on the *compacted* index space of the points the batch actually
 touches (:func:`compact_points`), making ``apply_batch`` O(batch) per batch
 — independent of the graph size — and an :class:`UpdateWorkspace` of
 preallocated scratch buffers removes the per-batch allocation of the large
-staging arrays (endpoint indices, gathered coordinates, displacement
-vectors, merge inputs). A steady-state run therefore allocates nothing
-proportional to the graph; what remains per batch is a handful of small
-O(batch) temporaries from ``np.where``/``np.unique``/``np.bincount``.
+staging arrays.
+
+Backend dispatch: every array operation goes through an
+:class:`~repro.backend.ArrayBackend` — the workspace buffers are allocated
+from the backend's namespace, the merge scatters are backend kernels, and
+batch inputs are coerced with ``backend.asarray`` (a no-op on host
+backends). Callers that pass neither a ``workspace`` nor a ``backend`` get
+the NumPy reference backend, which issues byte-for-byte the historical call
+sequence; engines resolve their backend once (``LayoutParams.backend`` /
+``REPRO_BACKEND``) and thread it here via their per-run workspace.
 """
 from __future__ import annotations
 
@@ -43,6 +49,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from ..backend import ArrayBackend, get_backend
 from .selection import StepBatch
 
 __all__ = [
@@ -55,6 +62,29 @@ __all__ = [
 ]
 
 _MIN_DISTANCE = 1e-9
+
+
+def _default_backend() -> ArrayBackend:
+    """The NumPy reference backend, the low-level default.
+
+    Bare calls to the functions in this module receive host arrays, so the
+    host reference backend is the only safe default; environment-driven
+    backend selection (``REPRO_BACKEND``) is applied where the coordinate
+    state is created — at engine level — not here.
+    """
+    return get_backend("numpy")
+
+
+def _resolve_backend(workspace: Optional["UpdateWorkspace"],
+                     backend: Optional[ArrayBackend]) -> ArrayBackend:
+    """One backend per call: the workspace's, an explicit one, or the default."""
+    if workspace is not None:
+        if backend is not None and backend is not workspace.backend:
+            raise ValueError(
+                f"backend mismatch: workspace is on {workspace.backend.name!r} "
+                f"but backend={backend.name!r} was passed")
+        return workspace.backend
+    return backend if backend is not None else _default_backend()
 
 
 @dataclass
@@ -80,26 +110,32 @@ class UpdateWorkspace:
     batches after planning, e.g. warp-shuffle data reuse, stay correct) and
     never shrink.
 
+    The buffers live in the memory space of the workspace's
+    :class:`~repro.backend.ArrayBackend` (host NumPy by default), which also
+    fixes the backend used by every call the workspace is threaded through.
+
     The buffers hold no state between calls; sharing one workspace across
     engines is safe as long as calls do not interleave mid-update.
     """
 
-    def __init__(self, max_batch: int = 1):
+    def __init__(self, max_batch: int = 1, backend: Optional[ArrayBackend] = None):
+        self.backend = backend if backend is not None else _default_backend()
         self.max_batch = 0
         self._grow(max(int(max_batch), 1))
 
     def _grow(self, n: int) -> None:
+        be = self.backend
         self.max_batch = n
-        self.point_i = np.empty(n, dtype=np.int64)
-        self.point_j = np.empty(n, dtype=np.int64)
-        self.gather_i = np.empty((n, 2), dtype=np.float64)
-        self.gather_j = np.empty((n, 2), dtype=np.float64)
-        self.diff = np.empty((n, 2), dtype=np.float64)
-        self.mag = np.empty(n, dtype=np.float64)
-        self.mag_safe = np.empty(n, dtype=np.float64)
-        self.term_delta = np.empty((n, 2), dtype=np.float64)
-        self.merge_points = np.empty(2 * n, dtype=np.int64)
-        self.merge_delta = np.empty((2 * n, 2), dtype=np.float64)
+        self.point_i = be.empty(n, dtype=np.int64)
+        self.point_j = be.empty(n, dtype=np.int64)
+        self.gather_i = be.empty((n, 2), dtype=np.float64)
+        self.gather_j = be.empty((n, 2), dtype=np.float64)
+        self.diff = be.empty((n, 2), dtype=np.float64)
+        self.mag = be.empty(n, dtype=np.float64)
+        self.mag_safe = be.empty(n, dtype=np.float64)
+        self.term_delta = be.empty((n, 2), dtype=np.float64)
+        self.merge_points = be.empty(2 * n, dtype=np.int64)
+        self.merge_delta = be.empty((2 * n, 2), dtype=np.float64)
 
     def ensure(self, batch_size: int) -> None:
         """Grow the buffers if ``batch_size`` exceeds the current capacity."""
@@ -107,7 +143,9 @@ class UpdateWorkspace:
             self._grow(int(batch_size))
 
 
-def compact_points(points: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+def compact_points(
+    points: np.ndarray, backend: Optional[ArrayBackend] = None
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Compact flat point indices onto the touched-point index space.
 
     Returns ``(unique_points, inverse, counts)`` from a single sort-based
@@ -116,11 +154,11 @@ def compact_points(points: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarr
     the per-slot multiplicity. The same compaction serves the bincount-based
     write merges *and* the collision counter, so the hot path never
     materialises graph-sized scratch arrays and never sorts twice.
+
+    Dispatches to ``backend`` (NumPy reference when omitted).
     """
-    points = np.asarray(points)
-    unique_points, inverse = np.unique(points, return_inverse=True)
-    counts = np.bincount(inverse, minlength=unique_points.size)
-    return unique_points, inverse, counts
+    be = backend if backend is not None else _default_backend()
+    return be.compact_points(points)
 
 
 def compute_displacements(
@@ -128,46 +166,51 @@ def compute_displacements(
     batch: StepBatch,
     eta: float,
     workspace: Optional[UpdateWorkspace] = None,
+    backend: Optional[ArrayBackend] = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Per-term displacement vectors for both endpoints of every term.
 
     Returns ``(point_i, point_j, delta)`` where ``point_*`` are flat indices
     into the ``(2N, 2)`` coordinate array and ``delta`` is the displacement to
-    subtract from point ``i`` (and add to point ``j``).
+    subtract from point ``i`` (and add to point ``j``). ``coords`` must live
+    in the resolved backend's memory space; the batch's (host) index arrays
+    are coerced with ``backend.asarray``.
 
     When a ``workspace`` is supplied the returned arrays are views into its
     buffers and are overwritten by the next call that shares the workspace.
     """
+    be = _resolve_backend(workspace, backend)
+    xp = be.xp
     n = len(batch)
-    ws = workspace if workspace is not None else UpdateWorkspace(n)
+    ws = workspace if workspace is not None else UpdateWorkspace(n, backend=be)
     ws.ensure(n)
 
     point_i = ws.point_i[:n]
     point_j = ws.point_j[:n]
-    np.multiply(batch.node_i, 2, out=point_i)
-    point_i += batch.vis_i
-    np.multiply(batch.node_j, 2, out=point_j)
-    point_j += batch.vis_j
+    xp.multiply(be.asarray(batch.node_i), 2, out=point_i)
+    point_i += be.asarray(batch.vis_i)
+    xp.multiply(be.asarray(batch.node_j), 2, out=point_j)
+    point_j += be.asarray(batch.vis_j)
 
-    d_ref = batch.d_ref
+    d_ref = be.asarray(batch.d_ref)
     valid = d_ref > 0
-    d_safe = np.where(valid, d_ref, 1.0)
+    d_safe = xp.where(valid, d_ref, 1.0)
     w = 1.0 / (d_safe * d_safe)
-    mu = np.minimum(eta * w, 1.0)
+    mu = xp.minimum(eta * w, 1.0)
 
-    gathered_i = np.take(coords, point_i, axis=0, out=ws.gather_i[:n])
-    gathered_j = np.take(coords, point_j, axis=0, out=ws.gather_j[:n])
-    diff = np.subtract(gathered_i, gathered_j, out=ws.diff[:n])
-    mag = np.einsum("ij,ij->i", diff, diff, out=ws.mag[:n])
-    np.sqrt(mag, out=mag)
-    mag_safe = np.maximum(mag, _MIN_DISTANCE, out=ws.mag_safe[:n])
-    delta_scalar = np.where(valid, mu * (mag - d_safe) / 2.0, 0.0)
+    gathered_i = xp.take(coords, point_i, axis=0, out=ws.gather_i[:n])
+    gathered_j = xp.take(coords, point_j, axis=0, out=ws.gather_j[:n])
+    diff = xp.subtract(gathered_i, gathered_j, out=ws.diff[:n])
+    mag = be.rowwise_sqnorm(diff, out=ws.mag[:n])
+    xp.sqrt(mag, out=mag)
+    mag_safe = xp.maximum(mag, _MIN_DISTANCE, out=ws.mag_safe[:n])
+    delta_scalar = xp.where(valid, mu * (mag - d_safe) / 2.0, 0.0)
     # Degenerate coincident points: nudge along x to separate them.
-    unit = np.divide(diff, mag_safe[:, None], out=ws.term_delta[:n])
+    unit = xp.divide(diff, mag_safe[:, None], out=ws.term_delta[:n])
     coincident = mag < _MIN_DISTANCE
-    if np.any(coincident):
-        unit[coincident] = np.array([1.0, 0.0])
-    delta = np.multiply(unit, delta_scalar[:, None], out=unit)
+    if bool(coincident.any()):
+        unit[coincident] = be.asarray([1.0, 0.0])
+    delta = xp.multiply(unit, delta_scalar[:, None], out=unit)
     return point_i, point_j, delta
 
 
@@ -177,48 +220,40 @@ def apply_batch(
     eta: float,
     merge: str = "hogwild",
     workspace: Optional[UpdateWorkspace] = None,
+    backend: Optional[ArrayBackend] = None,
 ) -> UpdateStats:
     """Apply one batch of updates to ``coords`` in place and return statistics.
 
     Every merge policy works over the compacted touched-point space, so the
     per-batch cost is O(batch · log batch), independent of the graph size.
     Passing the run's :class:`UpdateWorkspace` additionally removes the
-    steady-state allocation of all batch-shaped staging arrays.
+    steady-state allocation of all batch-shaped staging arrays and selects
+    the execution backend (an explicit ``backend`` must agree with it).
     """
     if merge not in ("hogwild", "accumulate", "last_writer"):
         raise ValueError("merge must be 'hogwild', 'accumulate' or 'last_writer'")
     if len(batch) == 0:
         return UpdateStats(0, 0, 0, 0.0, 0.0)
+    be = _resolve_backend(workspace, backend)
+    xp = be.xp
     n = len(batch)
-    ws = workspace if workspace is not None else UpdateWorkspace(n)
+    ws = workspace if workspace is not None else UpdateWorkspace(n, backend=be)
     point_i, point_j, delta = compute_displacements(coords, batch, eta, workspace=ws)
 
     all_points = ws.merge_points[: 2 * n]
     all_points[:n] = point_i
     all_points[n:] = point_j
     all_deltas = ws.merge_delta[: 2 * n]
-    np.negative(delta, out=all_deltas[:n])
+    xp.negative(delta, out=all_deltas[:n])
     all_deltas[n:] = delta
 
-    touched, inverse, counts = compact_points(all_points)
+    touched, inverse, counts = be.compact_points(all_points)
     n_collisions = int(all_points.size - touched.size)
 
-    if merge == "accumulate":
-        coords[touched, 0] += np.bincount(inverse, weights=all_deltas[:, 0])
-        coords[touched, 1] += np.bincount(inverse, weights=all_deltas[:, 1])
-    elif merge == "hogwild":
-        coords[touched, 0] += np.bincount(inverse, weights=all_deltas[:, 0]) / counts
-        coords[touched, 1] += np.bincount(inverse, weights=all_deltas[:, 1]) / counts
-    else:
-        # Last writer wins: keep only the final delta targeting each point,
-        # mirroring an unsynchronised store race. Sequential assignment through
-        # ``inverse`` leaves each slot holding its last occurrence's index.
-        last = np.empty(touched.size, dtype=np.int64)
-        last[inverse] = np.arange(all_points.size)
-        coords[touched] += all_deltas[last]
+    be.merge_scatter(coords, touched, inverse, counts, all_deltas, merge)
 
-    mags = np.einsum("ij,ij->i", delta, delta, out=ws.mag[:n])
-    np.sqrt(mags, out=mags)
+    mags = be.rowwise_sqnorm(delta, out=ws.mag[:n])
+    xp.sqrt(mags, out=mags)
     return UpdateStats(
         n_terms=n,
         n_zero_ref=int((batch.d_ref <= 0).sum()),
@@ -228,19 +263,25 @@ def apply_batch(
     )
 
 
-def batch_stress(coords: np.ndarray, batch: StepBatch) -> float:
+def batch_stress(
+    coords: np.ndarray, batch: StepBatch, backend: Optional[ArrayBackend] = None
+) -> float:
     """Mean normalised stress of the batch's terms under the current layout.
 
     This is the quantity minimised by the algorithm (Alg. 1 line 14) and the
     building block of the path-stress metrics in :mod:`repro.metrics`.
+    ``coords`` must live in ``backend``'s memory space (host NumPy default).
     """
     valid = batch.d_ref > 0
     if not np.any(valid):
         return 0.0
-    point_i = 2 * batch.node_i + batch.vis_i
-    point_j = 2 * batch.node_j + batch.vis_j
+    be = backend if backend is not None else _default_backend()
+    xp = be.xp
+    point_i = be.asarray(2 * batch.node_i + batch.vis_i)
+    point_j = be.asarray(2 * batch.node_j + batch.vis_j)
     diff = coords[point_i] - coords[point_j]
-    mag = np.sqrt(np.einsum("ij,ij->i", diff, diff))
-    d = batch.d_ref
-    terms = ((mag[valid] - d[valid]) / d[valid]) ** 2
+    mag = xp.sqrt(be.rowwise_sqnorm(diff))
+    d = be.asarray(batch.d_ref)
+    valid_dev = be.asarray(valid)
+    terms = ((mag[valid_dev] - d[valid_dev]) / d[valid_dev]) ** 2
     return float(terms.mean())

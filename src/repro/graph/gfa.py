@@ -112,6 +112,8 @@ def _parse_lines(handle: Iterable[str]) -> VariationGraph:
             raise GFAError(
                 f"path '{path_name}' references unknown segment {exc}"
             ) from exc
+        except ValueError as exc:  # e.g. duplicate path names
+            raise GFAError(f"invalid path '{path_name}': {exc}") from exc
 
     graph.segment_names = {v: k for k, v in name_to_id.items()}  # type: ignore[attr-defined]
     return graph

@@ -115,7 +115,10 @@ def read_tsv(source: Union[str, os.PathLike, TextIO]) -> Layout:
             ids.append(int(parts[0]))
         except ValueError:
             raise LayFormatError(f"bad node_id in TSV row: {line!r}") from None
-        rows.append([float(v) for v in parts[1:]])
+        try:
+            rows.append([float(v) for v in parts[1:]])
+        except ValueError:
+            raise LayFormatError(f"bad coordinate in TSV row: {line!r}") from None
     if not rows:
         raise LayFormatError("TSV layout contains no rows")
     node_ids = np.asarray(ids, dtype=np.int64)

@@ -19,6 +19,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..backend import ArrayBackend, get_backend
 from ..core.params import LayoutParams
 from ..core.selection import PairSampler
 from ..core.updates import compact_points
@@ -62,10 +63,12 @@ def measure_collisions(
     n_batches: int = 16,
     params: Optional[LayoutParams] = None,
     seed: int = 0,
+    backend: Optional[ArrayBackend] = None,
 ) -> CollisionReport:
     """Empirically measure endpoint collisions among ``concurrency`` in-flight terms."""
     params = params or LayoutParams()
-    sampler = PairSampler(graph, params)
+    be = backend if backend is not None else get_backend(params.backend)
+    sampler = PairSampler(graph, params, backend=be)
     rng = Xoshiro256Plus(seed, n_streams=min(concurrency, 1024))
     fractions = []
     for b in range(n_batches):
@@ -75,7 +78,8 @@ def measure_collisions(
             2 * batch.node_j + batch.vis_j,
         ])
         # Same touched-point compaction the update hot path uses.
-        _, _, counts = compact_points(points)
+        _, _, counts = compact_points(points, backend=be)
+        counts = be.to_host(counts)
         colliding_points = counts[counts > 1].sum()
         fractions.append(colliding_points / points.size)
     fractions_arr = np.asarray(fractions)

@@ -38,7 +38,7 @@ class TestRunner:
         assert case["wall_time"]["repeats"] == 3
         assert len(case["wall_time"]["times_s"]) == 3
         assert case["metrics"]["modelled_s"]["direction"] == "lower"
-        assert doc["runner"] == {"warmup": 1, "repeats": 3}
+        assert doc["runner"] == {"warmup": 1, "repeats": 3, "backend": "numpy"}
 
     def test_master_seed_recorded(self, toy_registry):
         doc = run_suite("smoke", registry=toy_registry, master_seed=42,

@@ -1,0 +1,173 @@
+"""Cross-engine / cross-backend conformance matrix.
+
+Ground truth is :class:`SerialReferenceEngine` on the NumPy reference
+backend: the exact term-at-a-time Alg. 1. Every registered backend must
+reproduce it — through every engine and every write-merge policy — within
+1e-9 (and bit-for-bit on the NumPy backend itself).
+
+Two matrices:
+
+* **Serial-degenerate**: each engine configured so its trajectory collapses
+  to the serial algorithm (singleton batches, one PRNG stream — stream 0 of
+  the multi-stream Xoshiro is invariant to the stream count, which is what
+  makes this exact). Any deviation is a backend/engine arithmetic bug, not a
+  batching artefact.
+* **Cross-backend**: each engine in its *default* batched configuration run
+  on backend B vs the NumPy backend — real batches, real collisions, so the
+  merge kernels are exercised under load.
+
+Backends whose toolchain is absent (numba/cupy on a CPU-only CI box) skip
+cleanly with the registry's recorded reason. Registering a new backend makes
+it appear in these matrices with no test changes — passing this module is
+the acceptance bar for any future backend PR (see ROADMAP).
+"""
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backend import available_backends, backend_failures, backend_names, get_backend
+from repro.core import (
+    BatchedLayoutEngine,
+    CpuBaselineEngine,
+    GpuKernelConfig,
+    LayoutParams,
+    OptimizedGpuEngine,
+    PairSampler,
+    SerialReferenceEngine,
+    UpdateWorkspace,
+    apply_batch,
+    initialize_layout,
+)
+from repro.prng import Xoshiro256Plus
+from repro.synth import PangenomeConfig, simulate_pangenome
+
+MERGES = ("hogwild", "accumulate", "last_writer")
+BACKENDS = backend_names()
+ATOL = 1e-9
+
+
+def _backend_or_skip(name: str):
+    if name not in available_backends():
+        pytest.skip(f"backend {name!r} unavailable: "
+                    f"{backend_failures().get(name, 'not registered')}")
+    return get_backend(name)
+
+
+@pytest.fixture(scope="module")
+def conf_graph():
+    """Small synthetic pangenome: several paths, bubbles, a loop."""
+    cfg = PangenomeConfig(
+        n_backbone_nodes=60,
+        n_paths=4,
+        mean_node_length=5.0,
+        bubble_rate=0.1,
+        deletion_rate=0.02,
+        n_structural_variants=1,
+        sv_length_nodes=6,
+        loop_rate=0.1,
+        seed=5,
+        name="conformance",
+    )
+    return simulate_pangenome(cfg)
+
+
+def _params(merge: str, backend: str) -> LayoutParams:
+    return LayoutParams(iter_max=3, steps_per_step_unit=1.0, seed=17,
+                        merge_policy=merge, backend=backend)
+
+
+#: The serial reference depends only on the merge policy (3 runs), not on the
+#: (engine × backend) axes of the 27-case matrix — cache it per merge.
+_REFERENCE_CACHE: dict = {}
+
+
+def _serial_reference(graph, merge: str):
+    if merge not in _REFERENCE_CACHE:
+        _REFERENCE_CACHE[merge] = SerialReferenceEngine(
+            graph, _params(merge, "numpy")).run().layout.coords
+    return _REFERENCE_CACHE[merge]
+
+
+def _serial_degenerate_engine(kind: str, graph, params: LayoutParams):
+    """An engine whose batch plan and PRNG collapse to the serial algorithm."""
+    if kind == "cpu":
+        return CpuBaselineEngine(graph, params, hogwild_round=1)
+    if kind == "batch":
+        return BatchedLayoutEngine(graph, params.with_(batch_size=1))
+    if kind == "gpu":
+        return OptimizedGpuEngine(graph, params, GpuKernelConfig(
+            warp_size=1, concurrent_threads=1, warp_merging=False,
+            cache_friendly_layout=False, coalesced_random_states=False))
+    raise AssertionError(kind)
+
+
+def _default_engine(kind: str, graph, params: LayoutParams):
+    """The engine in its stock batched configuration (real merge collisions)."""
+    if kind == "cpu":
+        return CpuBaselineEngine(graph, params.with_(n_threads=4))
+    if kind == "batch":
+        return BatchedLayoutEngine(graph, params.with_(batch_size=64))
+    if kind == "gpu":
+        return OptimizedGpuEngine(graph, params)
+    raise AssertionError(kind)
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+@pytest.mark.parametrize("merge", MERGES)
+@pytest.mark.parametrize("engine_kind", ("cpu", "batch", "gpu"))
+class TestSerialReferenceConformance:
+    def test_matches_serial_reference(self, conf_graph, engine_kind, merge,
+                                      backend_name):
+        _backend_or_skip(backend_name)
+        reference = _serial_reference(conf_graph, merge)
+        engine = _serial_degenerate_engine(
+            engine_kind, conf_graph, _params(merge, backend_name))
+        got = engine.run().layout.coords
+        np.testing.assert_allclose(got, reference, atol=ATOL, rtol=0)
+        if backend_name == "numpy":
+            # The reference backend is held to bit-identity, not closeness.
+            np.testing.assert_array_equal(got, reference)
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+@pytest.mark.parametrize("merge", MERGES)
+@pytest.mark.parametrize("engine_kind", ("cpu", "batch", "gpu"))
+class TestCrossBackendConformance:
+    def test_default_config_matches_numpy_backend(self, conf_graph, engine_kind,
+                                                  merge, backend_name):
+        _backend_or_skip(backend_name)
+        baseline = _default_engine(
+            engine_kind, conf_graph, _params(merge, "numpy")).run()
+        candidate = _default_engine(
+            engine_kind, conf_graph, _params(merge, backend_name)).run()
+        assert candidate.total_terms == baseline.total_terms
+        np.testing.assert_allclose(candidate.layout.coords,
+                                   baseline.layout.coords, atol=ATOL, rtol=0)
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+@pytest.mark.parametrize("merge", MERGES)
+class TestKernelLevelConformance:
+    def test_apply_batch_matches_numpy_backend(self, conf_graph, merge,
+                                               backend_name):
+        """Heavily colliding sampled batches through the bare kernels."""
+        be = _backend_or_skip(backend_name)
+        ref_be = get_backend("numpy")
+        sampler = PairSampler(conf_graph, LayoutParams())
+        rng = Xoshiro256Plus(23, n_streams=64)
+        base = initialize_layout(conf_graph, seed=2).coords
+        for batch_size in (1, 33, 256):
+            batch = sampler.sample(rng, batch_size, iteration=0)
+            expect_host = base.copy()
+            ref_stats = apply_batch(expect_host, batch, 0.8, merge=merge,
+                                    workspace=UpdateWorkspace(batch_size,
+                                                              backend=ref_be))
+            coords_dev = be.from_host(base.copy())
+            got_stats = apply_batch(coords_dev, batch, 0.8, merge=merge,
+                                    workspace=UpdateWorkspace(batch_size,
+                                                              backend=be))
+            np.testing.assert_allclose(be.to_host(coords_dev), expect_host,
+                                       atol=ATOL, rtol=0)
+            assert got_stats.n_point_collisions == ref_stats.n_point_collisions
+            assert got_stats.n_terms == ref_stats.n_terms
