@@ -1,0 +1,28 @@
+"""Pytest shim for the fig18_multilevel_quality benchmark case.
+
+The case body lives in :mod:`repro.bench.cases.perf_multilevel`. Run it
+directly with ``python benchmarks/bench_fig18_multilevel_quality.py``,
+through ``pytest benchmarks/bench_fig18_multilevel_quality.py``, or as part
+of ``repro bench run --suite figures``.
+"""
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.cases.perf_multilevel import run_fig18_multilevel_quality
+
+_CASE = run_fig18_multilevel_quality.case
+
+
+@pytest.mark.paper_table(_CASE.source)
+def test_fig18_multilevel_quality(bench_ctx):
+    result = _CASE.run(bench_ctx)
+    for table in result.tables:
+        print()
+        print(table)
+
+
+if __name__ == "__main__":
+    from repro.bench.runner import run_case
+
+    run_case(_CASE.name)

@@ -11,6 +11,8 @@ and every substrate its evaluation depends on:
   the optimized GPU kernel with the paper's three optimisations;
 * :mod:`repro.backend` — pluggable array backends for the hot path (NumPy
   always; Numba / CuPy registered lazily when available);
+* :mod:`repro.multilevel` — path-preserving chain-contraction hierarchy and
+  the coarse-to-fine V-cycle driver (``LayoutParams(levels=N)``);
 * :mod:`repro.gpusim` — the GPU execution-model simulator (coalescing, caches,
   warp divergence, analytical timing) standing in for the CUDA hardware;
 * :mod:`repro.metrics` — path stress and sampled path stress;
@@ -29,9 +31,23 @@ Quickstart::
                           params=LayoutParams(iter_max=10, steps_per_step_unit=2.0))
     print(sampled_path_stress(result.layout, graph).value)
 """
-from . import backend, bench, core, gpusim, graph, io, metrics, parallel, prng, render, synth
+from . import (
+    backend,
+    bench,
+    core,
+    gpusim,
+    graph,
+    io,
+    metrics,
+    multilevel,
+    parallel,
+    prng,
+    render,
+    synth,
+)
 from .backend import available_backends, get_backend
 from .core import LayoutParams, layout_graph, make_engine
+from .multilevel import MultilevelDriver
 
 __version__ = "1.0.0"
 
@@ -45,6 +61,8 @@ __all__ = [
     "graph",
     "io",
     "metrics",
+    "multilevel",
+    "MultilevelDriver",
     "parallel",
     "prng",
     "render",

@@ -17,6 +17,7 @@ from . import (  # noqa: F401  (imports register the cases)
     fig16_ablation_ladder,
     fig17_data_reuse_dse,
     perf_hotpath,
+    perf_multilevel,
     smoke,
     table01_graph_properties,
     table02_cache_profile,

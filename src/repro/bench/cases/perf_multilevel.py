@@ -1,0 +1,157 @@
+"""Multilevel V-cycle benchmark cases (smoke gate + levels-sweep figure).
+
+``perf_multilevel`` is the CI gate for the multilevel subsystem: on the
+Chr.1-like graph, starting flat SGD and the levels=3 V-cycle from the *same*
+scrambled layout (untangling a bad embedding is exactly the work the paper's
+early iterations spend their time on), the V-cycle must reach the flat run's
+final quality while spending measurably fewer SGD terms. Quality is judged
+by :func:`repro.metrics.tail_pair_stress` — the upper-quantile pair stress
+over one fixed master-seeded pair sample shared by both layouts — because
+the *mean* sampled path stress is far too heavy-tailed to compare two runs
+reliably (one unlucky short-range pair dominates half a million samples; the
+mean is still recorded for paper comparability, as ``info``).
+
+The hard gate is the machine-independent ``terms_to_quality_ratio``: total
+multilevel SGD terms over total flat terms when the quality bar is met, an
+explicit 2.0 penalty value when it is not — so either a cost or a quality
+regression moves the metric against its ``lower`` direction. Wall times
+ride along as ``deterministic=False`` metrics, like the other ``perf_*``
+cases.
+
+``fig18_multilevel_quality`` sweeps the hierarchy depth and records the
+quality/cost frontier (levels vs tail stress vs terms) in the style of the
+paper's figure-series studies.
+"""
+from __future__ import annotations
+
+import time
+
+from ...core import CpuBaselineEngine
+from ...core.layout import Layout
+from ...metrics import sampled_path_stress, tail_pair_stress
+from ...multilevel import MultilevelDriver
+from ..registry import CaseResult, bench_case
+from ..tables import format_table
+
+#: Hierarchy depth of the gated configuration (`repro layout --levels 3`).
+_GATE_LEVELS = 3
+
+#: Penalty value recorded when the V-cycle misses the flat quality bar: far
+#: above the healthy ~0.65 ratio, so the 10% gate trips unambiguously.
+_QUALITY_MISS_PENALTY = 2.0
+
+
+def _scrambled(ctx, graph, label: str) -> Layout:
+    rng = ctx.rng(label)
+    return Layout(rng.uniform(0, 500.0, size=(2 * graph.n_nodes, 2)))
+
+
+@bench_case("perf_multilevel", source="Multilevel V-cycle (smoke)",
+            suites=("smoke",))
+def run_perf_multilevel(ctx) -> CaseResult:
+    """levels=3 V-cycle reaches flat quality in fewer SGD terms (gated < 1)."""
+    graph = ctx.chr1_graph
+    params = ctx.smoke_params
+    scrambled = _scrambled(ctx, graph, "perf_multilevel/scramble")
+    sps_seed = ctx.seed_for("perf_multilevel/sps")
+    tail_seed = ctx.seed_for("perf_multilevel/tail")
+
+    t0 = time.perf_counter()
+    flat = CpuBaselineEngine(graph, params).run(initial=scrambled)
+    flat_s = time.perf_counter() - t0
+
+    driver = MultilevelDriver(graph, params.with_(levels=_GATE_LEVELS),
+                              engine="cpu")
+    assert driver.hierarchy.depth == _GATE_LEVELS
+    t0 = time.perf_counter()
+    multi = driver.run(initial=scrambled)
+    multi_s = time.perf_counter() - t0
+
+    flat_tail = tail_pair_stress(flat.layout, graph, seed=tail_seed)
+    multi_tail = tail_pair_stress(multi.layout, graph, seed=tail_seed)
+    quality_reached = multi_tail <= flat_tail
+    term_ratio = multi.total_terms / max(flat.total_terms, 1)
+    # A quality miss is recorded as the penalty value and left for `bench
+    # compare` to trip against the committed baseline — no assert here, so
+    # the rest of the suite's metrics survive the run and the failure shows
+    # up as a gate diff, not an aborted suite. The term ratio itself *is*
+    # structural (the V-cycle splits the iteration budget across graphs with
+    # no more steps than the finest), so that much is safe to assert.
+    gated = term_ratio if quality_reached else _QUALITY_MISS_PENALTY
+    assert term_ratio < 1.0
+
+    out = CaseResult(graph_properties=ctx.graph_properties(graph))
+    out.add("terms_to_quality_ratio", gated, unit="x", direction="lower")
+    out.add("tangle_improvement", flat_tail / max(multi_tail, 1e-12),
+            unit="x", direction="higher")
+    out.add("flat_total_terms", flat.total_terms, direction="info")
+    out.add("multilevel_total_terms", multi.total_terms, direction="info")
+    out.add("flat_tail_stress", flat_tail, direction="info")
+    out.add("multilevel_tail_stress", multi_tail, direction="info")
+    out.add("flat_sampled_stress",
+            sampled_path_stress(flat.layout, graph, samples_per_step=20,
+                                seed=sps_seed).value, direction="info")
+    out.add("multilevel_sampled_stress",
+            sampled_path_stress(multi.layout, graph, samples_per_step=20,
+                                seed=sps_seed).value, direction="info")
+    out.add("hierarchy_depth", driver.hierarchy.depth, direction="info")
+    out.add("coarsest_nodes", driver.hierarchy.graphs[-1].n_nodes,
+            direction="info")
+    out.add("flat_wall_s", flat_s, unit="s", direction="lower",
+            deterministic=False)
+    out.add("multilevel_wall_s", multi_s, unit="s", direction="lower",
+            deterministic=False)
+    out.tables.append(format_table(
+        ["Run", "SGD terms", "q99 pair stress", "Wall (s)"],
+        [["flat cpu", flat.total_terms, f"{flat_tail:.4g}", f"{flat_s:.3f}"],
+         [f"V-cycle levels={_GATE_LEVELS}", multi.total_terms,
+          f"{multi_tail:.4g}", f"{multi_s:.3f}"]],
+        title="Smoke: multilevel V-cycle vs flat (Chr.1-like @0.1, scrambled start)",
+    ))
+    return out
+
+
+@bench_case("fig18_multilevel_quality", source="Multilevel levels sweep",
+            suites=("figures",))
+def run_fig18_multilevel_quality(ctx) -> CaseResult:
+    """Hierarchy-depth sweep: tail pair stress and SGD cost per level count."""
+    graph = ctx.chr1_graph
+    # The constrained smoke schedule is where hierarchy depth matters: at
+    # generous budgets the flat run converges anyway and every depth merely
+    # matches its quality at lower cost (a flatter, less informative sweep).
+    params = ctx.smoke_params
+    scrambled = _scrambled(ctx, graph, "fig18/scramble")
+    tail_seed = ctx.seed_for("fig18/tail")
+
+    out = CaseResult(graph_properties=ctx.graph_properties(graph))
+    rows = []
+    tails = {}
+    terms = {}
+    for levels in (1, 2, 3, 4):
+        driver = MultilevelDriver(graph, params.with_(levels=levels),
+                                  engine="cpu")
+        result = driver.run(initial=scrambled)
+        tail = tail_pair_stress(result.layout, graph, seed=tail_seed)
+        tails[levels] = tail
+        terms[levels] = result.total_terms
+        out.add(f"tail_stress_levels{levels}", tail, direction="info")
+        out.add(f"terms_levels{levels}", result.total_terms, direction="info")
+        rows.append([levels,
+                     "->".join(str(n) for n in driver.hierarchy.node_counts()),
+                     result.total_terms, f"{tail:.4g}"])
+
+    # Deep hierarchies must beat the flat run from a scrambled start, and
+    # every coarsened run must be strictly cheaper in SGD terms. (levels=2
+    # jumps straight to the contraction fixpoint and is only required to
+    # stay in the flat run's quality neighbourhood.)
+    assert tails[3] < tails[1]
+    assert tails[4] < tails[1]
+    assert tails[2] < 1.5 * tails[1]
+    assert all(terms[lv] < terms[1] for lv in (2, 3, 4))
+    out.add("tangle_improvement_levels3", tails[1] / max(tails[3], 1e-12),
+            unit="x", direction="higher")
+    out.tables.append(format_table(
+        ["Levels", "Hierarchy", "SGD terms", "q99 pair stress"], rows,
+        title="Fig. 18-style: layout quality vs hierarchy depth (Chr.1-like @0.1)",
+    ))
+    return out

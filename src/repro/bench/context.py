@@ -19,7 +19,6 @@ the paper-calibrated graph shapes.
 """
 from __future__ import annotations
 
-import zlib
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -27,7 +26,7 @@ import numpy as np
 from ..backend import ArrayBackend, get_backend, resolve_backend_name
 from ..core.params import LayoutParams
 from ..graph.lean import LeanGraph
-from ..prng.splitmix import SplitMix64
+from ..prng.splitmix import derive_seed
 from ..synth import (
     chr1_like,
     chromosome_suite,
@@ -60,8 +59,7 @@ class BenchContext:
     # ------------------------------------------------------------------ seeds
     def seed_for(self, label: str) -> int:
         """Deterministic 31-bit seed for ``label`` under the master seed."""
-        mixed = SplitMix64(self.master_seed ^ zlib.crc32(label.encode("utf-8")), 1)
-        return int(mixed.next_uint64()[0] & np.uint64(0x7FFFFFFF))
+        return derive_seed(self.master_seed, label)
 
     def rng(self, label: str) -> np.random.Generator:
         """Fresh NumPy generator seeded from :meth:`seed_for`."""

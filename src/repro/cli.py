@@ -59,6 +59,19 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--steps-factor", type=float, default=10.0,
                         help="updates per iteration as a multiple of total path steps")
     parser.add_argument("--seed", type=int, default=9399, help="PRNG seed")
+    parser.add_argument("--levels", type=int, default=1,
+                        help="multilevel hierarchy depth: 1 runs the flat "
+                             "engine (default); N>1 coarsens path-identical "
+                             "chains up to N-1 times and optimises coarse to "
+                             "fine (repro.multilevel V-cycle)")
+    parser.add_argument("--level-split", type=float, default=0.5,
+                        help="fraction of the remaining iteration budget "
+                             "given to the coarser levels at each boundary "
+                             "(default 0.5; only used with --levels > 1)")
+    parser.add_argument("--merge-policy", default="hogwild",
+                        choices=["hogwild", "accumulate", "last_writer"],
+                        help="write-merge policy for colliding in-batch "
+                             "updates (default: hogwild)")
     parser.add_argument("--backend", default=None, choices=list(backend_names()),
                         help="array backend for the update hot path (default: "
                              "$REPRO_BACKEND or numpy; unavailable backends "
@@ -100,12 +113,17 @@ def layout_main(argv: Optional[Sequence[str]] = None) -> int:
         seed=args.seed,
         n_threads=args.threads,
         backend=args.backend,
+        merge_policy=args.merge_policy,
+        levels=args.levels,
+        level_iter_split=args.level_split,
     )
     from .backend import resolve_backend_name
 
+    multilevel_note = f", levels={args.levels}" if args.levels > 1 else ""
     print(f"laying out {source_name}: {graph.n_nodes} nodes, {graph.n_paths} paths, "
           f"{graph.total_steps} steps, engine={engine}, "
-          f"backend={resolve_backend_name(args.backend)}")
+          f"backend={resolve_backend_name(args.backend)}"
+          f"{multilevel_note}, merge={args.merge_policy}")
     t0 = time.perf_counter()
     result = layout_graph(graph, engine=engine, params=params,
                           gpu_config=GpuKernelConfig() if engine == "gpu" else None)

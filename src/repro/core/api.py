@@ -81,6 +81,11 @@ def layout_graph(
 ) -> LayoutResult:
     """Compute a 2-D layout of ``graph`` with the chosen engine.
 
+    When ``params.levels > 1`` the run goes through the multilevel V-cycle
+    driver (:class:`repro.multilevel.MultilevelDriver`), which coarsens the
+    graph and runs the chosen engine per hierarchy level; ``levels=1`` (the
+    default) is the flat engine untouched.
+
     Examples
     --------
     >>> from repro.synth import hla_drb1_like
@@ -91,4 +96,10 @@ def layout_graph(
     >>> result.layout.coords.shape[0] == 2 * graph.n_nodes
     True
     """
+    if params is not None and params.levels > 1:
+        # Runtime import: multilevel depends on core, never the reverse.
+        from ..multilevel.driver import MultilevelDriver
+
+        return MultilevelDriver(_as_lean(graph), params, engine=engine,
+                                gpu_config=gpu_config).run()
     return make_engine(graph, engine, params, gpu_config).run()

@@ -68,6 +68,21 @@ class LayoutParams:
     name is validated when the engine is constructed, so an unavailable
     backend fails fast with the recorded reason."""
 
+    levels: int = 1
+    """Maximum depth of the multilevel coarsening hierarchy
+    (:mod:`repro.multilevel`). ``1`` (the default) runs the flat engine
+    untouched; ``N > 1`` coarsens up to ``N - 1`` times and optimises coarse
+    to fine."""
+
+    coarsen_min_nodes: int = 32
+    """Coarsening stops once a hierarchy level has this many nodes or fewer
+    (tiny graphs gain nothing from further contraction)."""
+
+    level_iter_split: float = 0.5
+    """Fraction of the remaining iteration budget handed to the *coarser*
+    part of the hierarchy at each level boundary (strictly between 0 and 1);
+    see :func:`repro.multilevel.split_iterations`."""
+
     def __post_init__(self) -> None:
         if self.iter_max < 1:
             raise ValueError("iter_max must be >= 1")
@@ -93,6 +108,12 @@ class LayoutParams:
         if self.backend is not None and (not isinstance(self.backend, str)
                                          or not self.backend):
             raise ValueError("backend must be None or a non-empty backend name")
+        if self.levels < 1:
+            raise ValueError("levels must be >= 1")
+        if self.coarsen_min_nodes < 1:
+            raise ValueError("coarsen_min_nodes must be >= 1")
+        if not 0.0 < self.level_iter_split < 1.0:
+            raise ValueError("level_iter_split must lie strictly between 0 and 1")
 
     def with_(self, **kwargs) -> "LayoutParams":
         """Return a copy with the given fields replaced."""

@@ -3,6 +3,8 @@ from .stress import pair_stress_terms, path_stress, count_path_pairs
 from .sampled_stress import (
     SampledStress,
     sampled_path_stress,
+    sample_step_pairs,
+    tail_pair_stress,
     stress_ratio,
     correlation_study,
 )
@@ -19,6 +21,8 @@ __all__ = [
     "count_path_pairs",
     "SampledStress",
     "sampled_path_stress",
+    "sample_step_pairs",
+    "tail_pair_stress",
     "stress_ratio",
     "correlation_study",
     "QualityBand",

@@ -1,0 +1,30 @@
+"""Multilevel coarsening pipeline: path-preserving hierarchy + V-cycle driver.
+
+Contracts runs of nodes traversed identically by every path into a hierarchy
+of progressively smaller lean graphs (:mod:`repro.multilevel.coarsen`), lifts
+coarse solutions back down by cumulative sequence offset
+(:mod:`repro.multilevel.prolong`), and drives any flat layout engine coarse
+to fine (:mod:`repro.multilevel.driver`). Enabled through
+``LayoutParams(levels=N)`` / ``repro layout --levels N``.
+"""
+from .coarsen import (
+    CoarseningLevel,
+    Hierarchy,
+    build_hierarchy,
+    chain_merge_links,
+    coarsen_graph,
+)
+from .driver import MultilevelDriver, split_iterations
+from .prolong import prolongate, restrict
+
+__all__ = [
+    "CoarseningLevel",
+    "Hierarchy",
+    "build_hierarchy",
+    "chain_merge_links",
+    "coarsen_graph",
+    "MultilevelDriver",
+    "split_iterations",
+    "prolongate",
+    "restrict",
+]

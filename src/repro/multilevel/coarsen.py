@@ -1,0 +1,301 @@
+"""Path-preserving chain contraction over a lean graph.
+
+Pangenome graphs are dominated by linear chains: runs of nodes that every
+path traverses identically, one after the other (the homologous backbone
+between variant sites). Contracting each such run into one coarse node
+shrinks the graph — often by an order of magnitude — while preserving
+*exactly* the information the path-guided SGD layout consumes:
+
+* path step **order** (a chain is entered at its head and left at its tail
+  by every traversal, so replacing the member steps with one coarse step
+  keeps every path's node sequence faithful), and
+* nucleotide **distances** (the coarse node's length is the sum of its
+  members' lengths, so step positions — and therefore the reference
+  distances ``d_ref`` and the schedule's ``d_min``/``d_max`` bounds — are
+  computed over the same genomic coordinate system).
+
+Two nodes ``u → v`` may share a chain iff every occurrence of ``u`` on any
+path is immediately followed by ``v``, every occurrence of ``v`` is
+immediately preceded by ``u``, and both are only ever traversed forward.
+These conditions are evaluated vectorised over the flat step arrays; the
+merge links they induce form disjoint simple chains (a cycle would need a
+path that never starts or ends inside it, which finite paths cannot do — a
+deterministic break-at-min-id guard covers adversarial inputs anyway).
+
+Coarse node ids are assigned in ascending order of the chain head's fine
+node id, which makes the whole construction a pure function of the input
+graph — coarsening order is part of the multilevel seed contract (see
+ROADMAP "Multilevel pipeline").
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..graph.lean import LeanGraph
+
+__all__ = ["CoarseningLevel", "Hierarchy", "chain_merge_links", "coarsen_graph",
+           "build_hierarchy"]
+
+_NO_LINK = -1
+_SENTINEL = np.iinfo(np.int64).max
+
+
+@dataclass
+class CoarseningLevel:
+    """One fine → coarse contraction step with explicit projection arrays.
+
+    Attributes
+    ----------
+    fine / coarse:
+        The graphs on either side of the contraction.
+    projection:
+        ``(n_fine,)`` int64 — coarse node id of every fine node. Every fine
+        node maps to exactly one coarse node (total, single-valued).
+    member_offset:
+        ``(n_fine,)`` int64 — nucleotide offset of the fine node's start
+        within its chain (0 for chain heads and uncontracted nodes).
+    chain_offsets / chain_members:
+        CSR listing of each coarse node's members in traversal order:
+        coarse node ``c`` owns fine nodes
+        ``chain_members[chain_offsets[c]:chain_offsets[c+1]]``.
+    """
+
+    fine: LeanGraph
+    coarse: LeanGraph
+    projection: np.ndarray
+    member_offset: np.ndarray
+    chain_offsets: np.ndarray
+    chain_members: np.ndarray
+
+    @property
+    def n_fine(self) -> int:
+        """Number of fine nodes."""
+        return int(self.projection.size)
+
+    @property
+    def n_coarse(self) -> int:
+        """Number of coarse nodes (chains)."""
+        return int(self.chain_offsets.size - 1)
+
+    def chain_sizes(self) -> np.ndarray:
+        """``(n_coarse,)`` member count of every chain."""
+        return np.diff(self.chain_offsets)
+
+
+@dataclass
+class Hierarchy:
+    """A multilevel graph hierarchy: ``graphs[0]`` is the input (finest).
+
+    ``levels[i]`` contracts ``graphs[i]`` into ``graphs[i + 1]``; the list is
+    empty when the input could not (or was not asked to) be coarsened.
+    """
+
+    graphs: List[LeanGraph]
+    levels: List[CoarseningLevel]
+
+    @property
+    def depth(self) -> int:
+        """Number of graphs in the hierarchy (1 = flat)."""
+        return len(self.graphs)
+
+    def node_counts(self) -> List[int]:
+        """Per-level node counts, finest first."""
+        return [g.n_nodes for g in self.graphs]
+
+
+def chain_merge_links(graph: LeanGraph) -> np.ndarray:
+    """Per-node merge link: ``links[u] = v`` when ``u`` and ``v`` share a chain.
+
+    ``links[u] == -1`` means ``u`` ends its chain (or is not contractible at
+    all). The returned links form disjoint simple chains: every node has at
+    most one successor and at most one predecessor by construction.
+    """
+    n = graph.n_nodes
+    links = np.full(n, _NO_LINK, dtype=np.int64)
+    if n == 0 or graph.total_steps == 0:
+        return links
+    nodes = graph.step_nodes
+    occ = np.bincount(nodes, minlength=n)
+    # Consecutive same-path step pairs (k, k+1): drop each path's last step.
+    not_last = np.ones(graph.total_steps, dtype=bool)
+    tails = graph.path_offsets[1:] - 1
+    not_last[tails[tails >= 0]] = False
+    src = nodes[:-1][not_last[:-1]] if graph.total_steps > 1 else np.empty(0, np.int64)
+    dst = nodes[1:][not_last[:-1]] if graph.total_steps > 1 else np.empty(0, np.int64)
+    if src.size == 0:
+        return links
+    out_cnt = np.bincount(src, minlength=n)
+    in_cnt = np.bincount(dst, minlength=n)
+    # Unique successor/predecessor via min == max over the edge multiset.
+    succ_min = np.full(n, _SENTINEL, dtype=np.int64)
+    succ_max = np.full(n, -1, dtype=np.int64)
+    np.minimum.at(succ_min, src, dst)
+    np.maximum.at(succ_max, src, dst)
+    pred_min = np.full(n, _SENTINEL, dtype=np.int64)
+    pred_max = np.full(n, -1, dtype=np.int64)
+    np.minimum.at(pred_min, dst, src)
+    np.maximum.at(pred_max, dst, src)
+    # Chain offsets only make sense when every traversal runs head → tail,
+    # so any node with a reverse-oriented step stays uncontracted.
+    forward_only = np.bincount(nodes[graph.step_reverse], minlength=n) == 0
+    cand = (
+        (occ > 0)
+        & (out_cnt == occ)          # u is never a path-terminal step
+        & (succ_min == succ_max)    # unique successor v
+        & forward_only
+    )
+    v = np.where(cand, np.minimum(succ_min, n - 1), 0)
+    ok = (
+        cand
+        & (v != np.arange(n))                  # no self-loops
+        & (in_cnt[v] == occ[v])                # v is never a path-initial step
+        & (pred_min[v] == pred_max[v])         # unique predecessor
+        & (pred_min[v] == np.arange(n))        # ... and it is u
+        & forward_only[v]
+    )
+    links[ok] = v[ok]
+    return links
+
+
+def _walk_chains(
+    links: np.ndarray, max_chain: Optional[int] = None
+) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+    """Group nodes into chains; returns (projection, chain_offsets, chain_members).
+
+    ``max_chain`` caps the member count per chain: a maximal run is split
+    into consecutive segments of at most that many nodes (still head-to-tail
+    contiguous, so the contraction invariants are untouched). This is what
+    lets :func:`build_hierarchy` produce *gradual* hierarchies — unbounded
+    chain contraction is a closure and would collapse to its fixpoint in a
+    single round.
+    """
+    n = links.size
+    cap = n if max_chain is None else int(max_chain)
+    if cap < 1:
+        raise ValueError("max_chain must be >= 1")
+    has_pred = np.zeros(n, dtype=bool)
+    valid = links >= 0
+    has_pred[links[valid]] = True
+    projection = np.full(n, _NO_LINK, dtype=np.int64)
+    members: List[int] = []
+    offsets: List[int] = [0]
+    cid = 0
+
+    def walk(node: int) -> int:
+        size = 0
+        while node != _NO_LINK and projection[node] == _NO_LINK:
+            if size == cap:  # split the run: start a fresh chain here
+                offsets.append(len(members))
+                return node
+            projection[node] = cid
+            members.append(node)
+            size += 1
+            node = int(links[node])
+        offsets.append(len(members))
+        return _NO_LINK
+
+    for head in np.flatnonzero(~has_pred):
+        node = int(head)
+        while node != _NO_LINK:
+            node = walk(node)
+            cid += 1
+    # Defensive cycle break (unreachable for link arrays produced by
+    # chain_merge_links, where finite paths always break a would-be cycle):
+    # start a chain at the smallest unassigned id, deterministically.
+    while True:
+        unassigned = np.flatnonzero(projection == _NO_LINK)
+        if unassigned.size == 0:
+            break
+        node = int(unassigned[0])
+        while node != _NO_LINK:
+            node = walk(node)
+            cid += 1
+    return (projection,
+            np.asarray(offsets, dtype=np.int64),
+            np.asarray(members, dtype=np.int64))
+
+
+def coarsen_graph(graph: LeanGraph,
+                  max_chain: Optional[int] = None) -> CoarseningLevel:
+    """Contract every maximal path-identical chain of ``graph`` into one node.
+
+    ``max_chain`` bounds the members per contracted chain (see
+    :func:`_walk_chains`); ``None`` contracts maximal runs. The construction
+    is deterministic: coarse ids follow ascending chain-head fine ids, and
+    every array is a pure function of the input graph (and ``max_chain``).
+    """
+    links = chain_merge_links(graph)
+    projection, chain_offsets, chain_members = _walk_chains(links, max_chain)
+    n_coarse = int(chain_offsets.size - 1)
+    # Coarse node length = sum of member lengths; member offsets are the
+    # exclusive prefix sums within each chain, so distances stay nucleotide-
+    # faithful after contraction.
+    coarse_lengths = np.zeros(n_coarse, dtype=np.int64)
+    np.add.at(coarse_lengths, projection, graph.node_lengths)
+    member_lengths = graph.node_lengths[chain_members]
+    cum = np.cumsum(member_lengths) - member_lengths
+    base = cum[chain_offsets[:-1]]
+    member_offset_in_order = cum - np.repeat(base, np.diff(chain_offsets))
+    member_offset = np.empty(graph.n_nodes, dtype=np.int64)
+    member_offset[chain_members] = member_offset_in_order
+    # Coarse paths: every chain traversal covers the full chain head → tail,
+    # so keeping exactly the head steps preserves the traversal sequence.
+    heads = chain_members[chain_offsets[:-1]]
+    is_head = np.zeros(graph.n_nodes, dtype=bool)
+    is_head[heads] = True
+    keep = is_head[graph.step_nodes]
+    coarse_paths: List[np.ndarray] = []
+    coarse_orients: List[np.ndarray] = []
+    for p in range(graph.n_paths):
+        sl = graph.path_steps(p)
+        kept = keep[sl]
+        coarse_paths.append(projection[graph.step_nodes[sl][kept]])
+        coarse_orients.append(graph.step_reverse[sl][kept])
+    coarse = LeanGraph.from_paths(
+        node_lengths=coarse_lengths,
+        paths=coarse_paths,
+        path_names=list(graph.path_names),
+        orientations=coarse_orients,
+    )
+    return CoarseningLevel(
+        fine=graph,
+        coarse=coarse,
+        projection=projection,
+        member_offset=member_offset,
+        chain_offsets=chain_offsets,
+        chain_members=chain_members,
+    )
+
+
+def build_hierarchy(graph: LeanGraph, max_levels: int,
+                    min_nodes: int = 32) -> Hierarchy:
+    """Coarsen ``graph`` repeatedly into at most ``max_levels`` graphs.
+
+    Coarsening stops early when a graph already has ``min_nodes`` nodes or
+    fewer, or when a contraction round no longer shrinks the graph (every
+    chain is a singleton). ``max_levels == 1`` returns the flat hierarchy
+    without computing any contraction.
+    """
+    if max_levels < 1:
+        raise ValueError("max_levels must be >= 1")
+    if min_nodes < 1:
+        raise ValueError("min_nodes must be >= 1")
+    graphs = [graph]
+    levels: List[CoarseningLevel] = []
+    while len(graphs) < max_levels and graphs[-1].n_nodes > min_nodes:
+        # Unbounded chain contraction is a closure (one round reaches its
+        # fixpoint), so intermediate rounds cap the chain size at 2^round —
+        # a pairwise-then-coarser ladder — and only the last permitted round
+        # contracts maximal runs. Hierarchies therefore interpolate smoothly
+        # between the input and the contraction fixpoint.
+        last_round = len(graphs) == max_levels - 1
+        cap = None if last_round else 2 ** len(graphs)
+        level = coarsen_graph(graphs[-1], max_chain=cap)
+        if level.coarse.n_nodes >= level.fine.n_nodes:
+            break
+        levels.append(level)
+        graphs.append(level.coarse)
+    return Hierarchy(graphs=graphs, levels=levels)

@@ -1,0 +1,94 @@
+"""Transfer operators between hierarchy levels: restrict and prolongate.
+
+The coarse problem's solution is lifted back to the finer level by placing
+every chain member along its coarse node's segment at its cumulative
+nucleotide offset — the same genomic-coordinate convention
+``initialize_layout`` uses — plus a small deterministic jitter (driven by
+the package's Xoshiro256+ streams) that breaks the collinearity of freshly
+prolonged members so the fine-level SGD can separate them.
+
+Restriction is the adjoint used to push an explicit initial layout down the
+hierarchy: a coarse node inherits its chain head's start point and its chain
+tail's end point, which is exact on layouts where chains are laid out
+contiguously (and a sane summary on arbitrary ones).
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.layout import Layout, NodeDataLayout
+from ..prng.xoshiro import Xoshiro256Plus
+from .coarsen import CoarseningLevel
+
+__all__ = ["prolongate", "restrict"]
+
+
+def restrict(fine_layout: Layout, level: CoarseningLevel) -> Layout:
+    """Project a fine layout onto the coarse graph of ``level``.
+
+    Each coarse segment spans from its chain head's start point to its chain
+    tail's end point; ``prolongate`` of the result reproduces a contiguously
+    laid out chain exactly (up to jitter).
+    """
+    if fine_layout.n_nodes != level.n_fine:
+        raise ValueError("fine layout does not match the level's fine graph")
+    heads = level.chain_members[level.chain_offsets[:-1]]
+    tails = level.chain_members[level.chain_offsets[1:] - 1]
+    coords = np.empty((2 * level.n_coarse, 2), dtype=np.float64)
+    coords[0::2] = fine_layout.coords[2 * heads]
+    coords[1::2] = fine_layout.coords[2 * tails + 1]
+    return Layout(coords, fine_layout.data_layout)
+
+
+def prolongate(
+    coarse_layout: Layout,
+    level: CoarseningLevel,
+    jitter: float = 0.0,
+    seed: int = 0,
+    data_layout: NodeDataLayout = NodeDataLayout.SOA,
+) -> Layout:
+    """Lift a coarse layout to the fine graph of ``level``.
+
+    Every fine node is assigned coordinates (the operator is total): member
+    ``m`` of a chain with nucleotide span ``L`` occupies the fraction
+    ``[offset_m, offset_m + len_m] / L`` of its coarse segment. Chains of
+    zero nucleotide length fall back to spacing their members evenly by
+    chain rank, so the segment's shape survives and ``restrict`` remains an
+    exact right inverse. When ``jitter > 0``, members of multi-node chains
+    are perturbed by uniform noise in ``[-jitter, jitter)`` drawn from a
+    ``seed``-keyed Xoshiro256+ stream per fine node — deterministic for a
+    given (level, seed), and never applied to singleton chains, whose
+    coordinates are copied exactly.
+    """
+    if coarse_layout.n_nodes != level.n_coarse:
+        raise ValueError("coarse layout does not match the level's coarse graph")
+    proj = level.projection
+    n_fine = level.n_fine
+    starts = coarse_layout.coords[2 * proj]          # (n_fine, 2)
+    ends = coarse_layout.coords[2 * proj + 1]
+    span = ends - starts
+    total = level.coarse.node_lengths[proj].astype(np.float64)
+    off = level.member_offset.astype(np.float64)
+    length = level.fine.node_lengths.astype(np.float64)
+    # Rank-based fallback coordinates for zero-length chains.
+    sizes = level.chain_sizes()
+    rank = np.empty(n_fine, dtype=np.float64)
+    rank[level.chain_members] = (
+        np.arange(n_fine, dtype=np.float64)
+        - np.repeat(level.chain_offsets[:-1], sizes).astype(np.float64))
+    zero = total <= 0
+    safe_total = np.where(zero, sizes[proj].astype(np.float64), total)
+    off = np.where(zero, rank, off)
+    length = np.where(zero, 1.0, length)
+    frac_start = (off / safe_total)[:, None]
+    frac_end = ((off + length) / safe_total)[:, None]
+    coords = np.empty((2 * n_fine, 2), dtype=np.float64)
+    coords[0::2] = starts + frac_start * span
+    coords[1::2] = starts + frac_end * span
+    if jitter > 0.0:
+        multi = np.repeat(level.chain_sizes()[proj] > 1, 2)
+        if np.any(multi):
+            rng = Xoshiro256Plus(seed, n_streams=2 * n_fine)
+            noise = np.stack([rng.next_double(), rng.next_double()], axis=1)
+            coords[multi] += (noise[multi] - 0.5) * (2.0 * jitter)
+    return Layout(coords, data_layout)

@@ -6,12 +6,13 @@ reproduced here as vectorised multi-stream generators, along with SplitMix64
 seeding and the AoS/SoA state-layout distinction at the heart of the
 *coalesced random states* optimisation (paper Sec. V-B2, Table X).
 """
-from .splitmix import SplitMix64, seed_streams, splitmix64_next
+from .splitmix import SplitMix64, derive_seed, seed_streams, splitmix64_next
 from .xoshiro import Xoshiro256Plus, rotl64
 from .xorshift import XorwowState, state_addresses, AOS, SOA
 
 __all__ = [
     "SplitMix64",
+    "derive_seed",
     "seed_streams",
     "splitmix64_next",
     "Xoshiro256Plus",

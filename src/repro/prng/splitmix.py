@@ -12,9 +12,11 @@ CUDA thread).
 """
 from __future__ import annotations
 
+import zlib
+
 import numpy as np
 
-__all__ = ["SplitMix64", "splitmix64_next", "seed_streams"]
+__all__ = ["SplitMix64", "splitmix64_next", "seed_streams", "derive_seed"]
 
 _GOLDEN = np.uint64(0x9E3779B97F4A7C15)
 _MIX1 = np.uint64(0xBF58476D1CE4E5B9)
@@ -77,6 +79,19 @@ class SplitMix64:
     def next_double(self) -> np.ndarray:
         """Return one double in [0, 1) per stream."""
         return (self.next_uint64() >> np.uint64(11)).astype(np.float64) * (2.0 ** -53)
+
+
+def derive_seed(seed: int, label: str) -> int:
+    """Stable 31-bit sub-seed for a string ``label`` under a master ``seed``.
+
+    The label is hashed with CRC-32, XORed into the master seed and mixed
+    once through SplitMix64 — the shared derivation scheme of the benchmark
+    context (``BenchContext.seed_for``) and the multilevel driver's per-level
+    engine seeds, kept in one place so the two subsystems can never drift
+    apart on the determinism contract.
+    """
+    mixed = SplitMix64(seed ^ zlib.crc32(label.encode("utf-8")), 1)
+    return int(mixed.next_uint64()[0] & np.uint64(0x7FFFFFFF))
 
 
 def seed_streams(seed: int, n_streams: int, words_per_stream: int = 4) -> np.ndarray:

@@ -32,10 +32,13 @@ def rasterize(
     grid = np.zeros((H, W), dtype=np.float64)
     coords = layout.coords
     min_x, min_y, max_x, max_y = layout.bounding_box()
-    span_x = max(max_x - min_x, 1e-9)
-    span_y = max(max_y - min_y, 1e-9)
-    sx = (W - 1) / span_x
-    sy = (H - 1) / span_y
+    # Degenerate bounding boxes (single-node or fully contracted layouts)
+    # must not divide by zero: an axis without extent maps every coordinate
+    # to pixel 0 instead of stretching float noise across the grid.
+    span_x = max_x - min_x
+    span_y = max_y - min_y
+    sx = (W - 1) / span_x if span_x > 0 else 0.0
+    sy = (H - 1) / span_y if span_y > 0 else 0.0
     starts = coords[0::2]
     ends = coords[1::2]
     # Sample each segment at a resolution proportional to its pixel length.

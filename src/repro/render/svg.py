@@ -54,9 +54,19 @@ def render_svg(
         raise ValueError("canvas too small for the requested margin")
     coords = layout.coords
     min_x, min_y, max_x, max_y = layout.bounding_box()
-    span_x = max(max_x - min_x, 1e-9)
-    span_y = max(max_y - min_y, 1e-9)
-    scale = min((width - 2 * margin) / span_x, (height - 2 * margin) / span_y)
+    # Degenerate bounding boxes (a single node, or a fully contracted layout
+    # whose points coincide) must not divide by zero or blow the scale up to
+    # ~1e12: an axis with no extent contributes no scale constraint, and a
+    # layout with no extent at all renders at scale 0 (every point lands on
+    # the margin corner, a well-formed one-dot document).
+    span_x = max_x - min_x
+    span_y = max_y - min_y
+    scales = []
+    if span_x > 0:
+        scales.append((width - 2 * margin) / span_x)
+    if span_y > 0:
+        scales.append((height - 2 * margin) / span_y)
+    scale = min(scales) if scales else 0.0
 
     def tx(x: float) -> float:
         return margin + (x - min_x) * scale

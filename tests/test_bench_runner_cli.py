@@ -153,6 +153,34 @@ class TestBenchCli:
         assert code == 0
         assert "layout complete" in capsys.readouterr().out
 
+    @pytest.mark.parametrize("policy", ["hogwild", "accumulate", "last_writer"])
+    def test_layout_merge_policy_flag(self, policy, capsys):
+        """--merge-policy reaches LayoutParams (first-class since PR 3)."""
+        code = main(["layout", "--dataset", "HLA-DRB1", "--scale", "0.05",
+                     "--iter-max", "2", "--steps-factor", "1.0",
+                     "--merge-policy", policy])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"merge={policy}" in out
+        assert "layout complete" in out
+
+    def test_layout_merge_policy_changes_result(self, tmp_path):
+        """Distinct policies must produce distinct layouts (flag is live)."""
+        blobs = {}
+        for policy in ("hogwild", "accumulate"):
+            out = tmp_path / f"{policy}.lay"
+            assert main(["layout", "--dataset", "HLA-DRB1", "--scale", "0.05",
+                         "--iter-max", "2", "--steps-factor", "1.0",
+                         "--merge-policy", policy,
+                         "--out-lay", str(out)]) == 0
+            blobs[policy] = out.read_bytes()
+        assert blobs["hogwild"] != blobs["accumulate"]
+
+    def test_layout_rejects_unknown_merge_policy(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["layout", "--dataset", "HLA-DRB1",
+                  "--merge-policy", "banana"])
+
 
 class TestCommittedBaseline:
     def test_baseline_is_schema_valid_and_current(self):

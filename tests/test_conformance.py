@@ -148,6 +148,36 @@ class TestCrossBackendConformance:
 
 @pytest.mark.parametrize("backend_name", BACKENDS)
 @pytest.mark.parametrize("merge", MERGES)
+@pytest.mark.parametrize("engine_kind", ("cpu", "batch", "gpu"))
+class TestMultilevelConformance:
+    """Multilevel axis: a flat hierarchy must not perturb any engine.
+
+    ``MultilevelDriver(levels=1)`` (and any driver whose graph does not
+    contract) delegates to the wrapped flat engine; the contract is
+    byte-identity — same params, same seed, same PRNG draws — for every
+    engine × merge policy × backend the registry reports available.
+    """
+
+    def test_levels1_byte_identical_to_flat_engine(self, conf_graph,
+                                                   engine_kind, merge,
+                                                   backend_name):
+        from repro.core.api import make_engine
+        from repro.multilevel import MultilevelDriver
+
+        _backend_or_skip(backend_name)
+        # Realistic batched configuration (same knobs _default_engine turns),
+        # expressed through params so driver and flat engine see one config.
+        params = _params(merge, backend_name).with_(n_threads=4, batch_size=64)
+        flat = make_engine(conf_graph, engine_kind, params).run()
+        driver = MultilevelDriver(conf_graph, params, engine=engine_kind)
+        multi = driver.run()
+        assert driver.hierarchy.depth == 1
+        assert multi.total_terms == flat.total_terms
+        np.testing.assert_array_equal(multi.layout.coords, flat.layout.coords)
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+@pytest.mark.parametrize("merge", MERGES)
 class TestKernelLevelConformance:
     def test_apply_batch_matches_numpy_backend(self, conf_graph, merge,
                                                backend_name):

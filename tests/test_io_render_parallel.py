@@ -152,6 +152,46 @@ class TestRendering:
         with pytest.raises(ValueError):
             write_ppm(np.zeros(5), tmp_path / "x.ppm")
 
+    # ----------------------------- degenerate bounding boxes (regression)
+    # A 1-node graph (or a fully contracted multilevel layout) can produce
+    # coordinates with zero extent on one or both axes; rendering must not
+    # divide by zero or emit non-finite geometry.
+
+    def _single_node_layout(self):
+        # Zero-length node: both visualisation points coincide exactly.
+        return Layout(np.full((2, 2), 7.25, dtype=np.float64))
+
+    def test_svg_single_node_degenerate_bbox(self):
+        from repro.graph import LeanGraph
+
+        graph = LeanGraph.from_paths(node_lengths=[0], paths=[[0]])
+        svg = render_svg(self._single_node_layout(), graph=graph)
+        assert svg.count("<line") == 1
+        assert "nan" not in svg.lower() and "inf" not in svg.lower()
+
+    def test_svg_degenerate_single_axis(self, tiny_graph):
+        layout = initialize_layout(tiny_graph, seed=0)
+        layout.coords[:, 1] = 3.0  # collapse the Y extent only
+        svg = render_svg(layout)
+        assert svg.count("<line") == tiny_graph.n_nodes
+        assert "nan" not in svg.lower() and "inf" not in svg.lower()
+
+    def test_rasterize_single_node_degenerate_bbox(self):
+        grid = rasterize(self._single_node_layout(), width=16, height=8)
+        assert grid.shape == (8, 16)
+        assert np.isfinite(grid).all()
+        assert grid.max() == 1.0  # the single point is drawn
+
+    def test_similarity_degenerate_layouts(self):
+        layout = self._single_node_layout()
+        assert layout_similarity(layout, layout) == pytest.approx(1.0)
+
+    def test_ppm_single_node_degenerate_bbox(self, tmp_path):
+        grid = rasterize(self._single_node_layout(), width=8, height=8)
+        out = tmp_path / "dot.ppm"
+        write_ppm(grid, out)
+        assert out.read_bytes().startswith(b"P6\n8 8\n255\n")
+
 
 class TestHogwild:
     def test_expected_probability_monotone(self):

@@ -1,0 +1,154 @@
+"""Property-based invariants of the multilevel coarsening pipeline (hypothesis).
+
+Randomised adversarial lean graphs — duplicate steps, zero-length nodes,
+path-less nodes, reverse orientations, repeated spans — against the
+contraction contract, at every level of the hierarchy:
+
+* the projection is **total and single-valued**: every fine node maps to
+  exactly one coarse node, and the chain membership listing is a permutation
+  of the fine node ids;
+* **path sequence order is preserved**: expanding each coarse step into its
+  chain members reproduces the fine step sequence verbatim;
+* **nucleotide lengths are preserved**: per node-sum, per path and per step
+  position (reference distances are differences of step positions, so this
+  is what keeps the schedule's distance model honest);
+* ``prolongate`` after ``restrict`` **touches every node** with finite
+  coordinates and round-trips the coarse layout exactly.
+
+``hypothesis`` is an optional dev dependency: when it is not installed the
+module skips at collection time, like ``test_update_properties.py``.
+"""
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.core.layout import Layout  # noqa: E402
+from repro.graph import LeanGraph  # noqa: E402
+from repro.multilevel import (  # noqa: E402
+    build_hierarchy,
+    coarsen_graph,
+    prolongate,
+    restrict,
+)
+
+COMMON_SETTINGS = settings(deadline=None, max_examples=60)
+
+
+@st.composite
+def lean_graphs(draw) -> LeanGraph:
+    """Small adversarial lean graphs: arbitrary revisits and orientations."""
+    n_nodes = draw(st.integers(min_value=1, max_value=14))
+    node_lengths = draw(st.lists(st.integers(min_value=0, max_value=9),
+                                 min_size=n_nodes, max_size=n_nodes))
+    n_paths = draw(st.integers(min_value=1, max_value=4))
+    node_ids = st.integers(min_value=0, max_value=n_nodes - 1)
+    paths = []
+    orientations = []
+    for _ in range(n_paths):
+        steps = draw(st.lists(node_ids, min_size=1, max_size=20))
+        paths.append(steps)
+        orientations.append(draw(st.lists(st.booleans(), min_size=len(steps),
+                                          max_size=len(steps))))
+    return LeanGraph.from_paths(node_lengths, paths,
+                                orientations=orientations)
+
+
+def _assert_level_invariants(level) -> None:
+    fine, coarse = level.fine, level.coarse
+    # Total, single-valued projection over the full fine node range.
+    assert level.projection.shape == (fine.n_nodes,)
+    assert level.projection.min() >= 0
+    assert level.projection.max() == level.n_coarse - 1
+    np.testing.assert_array_equal(np.sort(level.chain_members),
+                                  np.arange(fine.n_nodes))
+    # Members agree with the projection and chain offsets.
+    np.testing.assert_array_equal(
+        level.projection[level.chain_members],
+        np.repeat(np.arange(level.n_coarse), level.chain_sizes()))
+    # Nucleotide mass is conserved globally and per chain.
+    assert coarse.total_sequence_length == fine.total_sequence_length
+    summed = np.zeros(level.n_coarse, dtype=np.int64)
+    np.add.at(summed, level.projection, fine.node_lengths)
+    np.testing.assert_array_equal(summed, coarse.node_lengths)
+    # Paths: same count, same names, order-preserving expansion, same spans.
+    assert coarse.n_paths == fine.n_paths
+    co, cm = level.chain_offsets, level.chain_members
+    for p in range(fine.n_paths):
+        fine_steps = fine.step_nodes[fine.path_steps(p)]
+        coarse_steps = coarse.step_nodes[coarse.path_steps(p)]
+        if coarse_steps.size:
+            expanded = np.concatenate([cm[co[c]:co[c + 1]]
+                                       for c in coarse_steps])
+        else:
+            expanded = np.empty(0, dtype=np.int64)
+        np.testing.assert_array_equal(expanded, fine_steps)
+        assert (coarse.path_nucleotide_length(p)
+                == fine.path_nucleotide_length(p))
+        # Coarse step positions are the fine positions of the chain heads.
+        heads_mask = np.isin(fine_steps, cm[co[:-1]])
+        np.testing.assert_array_equal(
+            coarse.step_positions[coarse.path_steps(p)],
+            fine.step_positions[fine.path_steps(p)][heads_mask])
+
+
+class TestCoarseningInvariants:
+    @COMMON_SETTINGS
+    @given(lean_graphs())
+    def test_single_round_invariants(self, graph):
+        _assert_level_invariants(coarsen_graph(graph))
+
+    @COMMON_SETTINGS
+    @given(lean_graphs(), st.integers(min_value=1, max_value=4))
+    def test_capped_round_invariants(self, graph, cap):
+        level = coarsen_graph(graph, max_chain=cap)
+        assert int(level.chain_sizes().max(initial=0)) <= cap
+        _assert_level_invariants(level)
+
+    @COMMON_SETTINGS
+    @given(lean_graphs(), st.integers(min_value=2, max_value=4))
+    def test_hierarchy_invariants_at_every_level(self, graph, max_levels):
+        hierarchy = build_hierarchy(graph, max_levels, min_nodes=1)
+        assert hierarchy.depth <= max_levels
+        counts = hierarchy.node_counts()
+        assert all(a > b for a, b in zip(counts, counts[1:]))
+        for level in hierarchy.levels:
+            _assert_level_invariants(level)
+
+    @COMMON_SETTINGS
+    @given(lean_graphs())
+    def test_coarsening_is_deterministic(self, graph):
+        a, b = coarsen_graph(graph), coarsen_graph(graph)
+        np.testing.assert_array_equal(a.projection, b.projection)
+        np.testing.assert_array_equal(a.chain_members, b.chain_members)
+        np.testing.assert_array_equal(a.coarse.step_nodes, b.coarse.step_nodes)
+        np.testing.assert_array_equal(a.coarse.step_positions,
+                                      b.coarse.step_positions)
+
+
+class TestTransferInvariants:
+    @COMMON_SETTINGS
+    @given(lean_graphs(), st.integers(min_value=0, max_value=2**31 - 1))
+    def test_prolongate_restrict_roundtrip_touches_every_node(self, graph, seed):
+        level = coarsen_graph(graph)
+        rng = np.random.default_rng(seed)
+        coarse = Layout(rng.uniform(-100.0, 100.0,
+                                    size=(2 * level.n_coarse, 2)))
+        fine = prolongate(coarse, level)
+        # Total operator: every fine node receives finite coordinates.
+        assert fine.n_nodes == graph.n_nodes
+        assert np.isfinite(fine.coords).all()
+        # Members never leave their coarse segment's bounding box.
+        starts = coarse.coords[0::2][level.projection]
+        ends = coarse.coords[1::2][level.projection]
+        lo = np.minimum(starts, ends) - 1e-9
+        hi = np.maximum(starts, ends) + 1e-9
+        assert np.all((fine.coords[0::2] >= lo) & (fine.coords[0::2] <= hi))
+        assert np.all((fine.coords[1::2] >= lo) & (fine.coords[1::2] <= hi))
+        # The adjoint restriction reproduces the coarse layout.
+        back = restrict(fine, level)
+        np.testing.assert_allclose(back.coords, coarse.coords, atol=1e-9)
