@@ -56,6 +56,19 @@ class ArrayBackend:
     #: Namespace for PRNG-driven selection (host-side for all current backends).
     host_xp: Any = np
 
+    #: Advertises the fused per-iteration execution path. The generic
+    #: :meth:`run_iteration` below works for any namespace, so the base
+    #: contract is "advertised"; a backend whose namespace cannot support it
+    #: sets this ``False`` and engines fall back to the per-batch loop.
+    supports_fused_iteration: bool = True
+
+    #: When ``True``, :func:`repro.core.fused.run_iteration_host` uploads the
+    #: per-iteration uniform megablock once and runs term *selection* in this
+    #: backend's namespace over a device-resident selection bundle, instead
+    #: of selecting on the host and shipping every batch across. Host
+    #: backends keep the default (their ``xp`` is the host).
+    fused_device_selection: bool = False
+
     # ------------------------------------------------------------- memory
     def empty(self, shape, dtype) -> Any:
         """Uninitialised array in this backend's memory space."""
@@ -127,6 +140,40 @@ class ArrayBackend:
             coords[touched] += all_deltas[last]
         else:  # pragma: no cover - callers validate before dispatch
             raise ValueError(f"unknown merge policy {merge!r}")
+
+    # ------------------------------------------------------ fused iteration
+    def run_iteration(self, plan, coords, uniforms, eta: float,
+                      iteration: int):
+        """Run one full SGD iteration as a single backend dispatch.
+
+        The fused-path kernel contract (see :mod:`repro.core.fused`): given
+        the run's :class:`~repro.core.fused.FusedIterationPlan`, the
+        coordinate state (in this backend's memory space), the iteration's
+        pre-drawn ``(calls, n_streams)`` uniform megablock and the learning
+        rate, perform selection + displacement + write merge for every
+        planned batch segment *inside this one call* and return
+        :class:`~repro.core.fused.FusedIterationStats`.
+
+        Semantics every implementation must preserve:
+
+        * **segments stay sequential** — each term reads coordinates as of
+          its segment's start and the per-segment merge is the backend's
+          ordinary ``merge_scatter`` semantics, so fused and unfused runs
+          agree (bit-for-bit on NumPy, ≤1e-9 elsewhere; enforced by the
+          conformance matrix's fused axis);
+        * **stream order** — the megablock is consumed vector-major /
+          call-minor per segment, segments in plan order, i.e. exactly the
+          unfused per-batch draw order.
+
+        The generic implementation executes through this backend's own
+        namespace and kernels (host selection, or device selection when
+        :attr:`fused_device_selection` is set); subclasses with a genuinely
+        fused kernel (Numba's single ``@njit`` loop) override it wholesale.
+        """
+        from ..core.fused import run_iteration_host  # runtime import: the
+        # module dependency points core -> backend, never the reverse.
+
+        return run_iteration_host(self, plan, coords, uniforms, eta, iteration)
 
     # ----------------------------------------------------------- checking
     def self_test(self) -> None:

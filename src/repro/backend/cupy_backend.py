@@ -16,6 +16,21 @@ Deviations from the generic base:
   occurrence indices, which is deterministic.
 * ``synchronize`` blocks on the current stream so wall-clock timings (the
   perf smoke cases) measure completed work, not launch overhead.
+* The fused iteration path runs with **device-resident selection**
+  (``fused_device_selection``): the selection arrays are uploaded once per
+  run, each iteration uploads its uniform megablock in one transfer, and
+  selection + displacement + merge all execute in the ``cupy`` namespace —
+  no per-batch host→device round trip, which is the transfer pattern the
+  unfused loop pays through ``asarray`` in every ``apply_batch``. Selected
+  indices are exact integer arithmetic; the Zipf inverse-CDF uses device
+  ``pow``/``exp``, so cross-checks against the host reference are held to
+  the conformance matrix's 1e-9, not bit-identity. Note the caveat: a
+  device-libm ulp landing on the other side of a ``floor`` boundary would
+  flip a *selected pair* (a discrete change, not a rounding one), so the
+  fused conformance axis must be run on real CUDA hardware before trusting
+  device selection on a new driver/toolkit — ``--no-fused`` (or host
+  selection via ``fused_device_selection = False``) is the fallback if it
+  ever trips.
 
 Importing this module raises :class:`ImportError` when cupy is missing, and
 the registration self-test exercises a real device allocation — a machine
@@ -39,6 +54,9 @@ class CupyBackend(ArrayBackend):
     name = "cupy"
     xp = cupy
     host_xp = np
+    # One megablock upload per iteration + device-side selection instead of
+    # per-batch uploads (see repro.core.fused.run_iteration_host).
+    fused_device_selection = True
 
     def __init__(self) -> None:  # pragma: no cover - requires CUDA hardware
         if cupy.cuda.runtime.getDeviceCount() < 1:

@@ -5,6 +5,13 @@ the exact NumPy call sequence the pre-backend hot path used, so layouts on
 the default backend are byte-identical to the seed implementation and the
 committed smoke baseline does not move. Other backends are validated against
 this one (registry self-test + ``tests/test_conformance.py``).
+
+The fused iteration path (``run_iteration``, inherited from the generic
+base) is held to the same bar: it re-expresses the historical per-batch
+call sequence segment by segment — one vectorised selection pass (every
+selection op is elementwise, so per-term values cannot change) followed by
+the ordinary per-segment displacement/merge kernels — making fused layouts
+byte-identical to unfused ones on this backend.
 """
 from __future__ import annotations
 

@@ -46,7 +46,8 @@ class BenchContext:
     """Datasets, layout parameters and derived seeds shared by bench cases."""
 
     def __init__(self, master_seed: int = DEFAULT_MASTER_SEED,
-                 backend: Optional[str] = None) -> None:
+                 backend: Optional[str] = None,
+                 fused: Optional[bool] = None) -> None:
         if not 0 <= int(master_seed) < 2**63:
             raise ValueError("master_seed must be a non-negative 63-bit integer")
         self.master_seed = int(master_seed)
@@ -54,6 +55,11 @@ class BenchContext:
         # before any case runs, with the registry's recorded reason.
         self.backend_name = resolve_backend_name(backend)
         self.backend: ArrayBackend = get_backend(self.backend_name)
+        # Fused-iteration override threaded into every case's layout params
+        # (None = auto; see LayoutParams.fused). Layouts — and therefore the
+        # deterministic metrics — are identical either way on numpy; the
+        # override exists so the perf cases can be pinned to one path.
+        self.fused = fused
         self._graphs: Dict[str, object] = {}
 
     # ------------------------------------------------------------------ seeds
@@ -75,20 +81,23 @@ class BenchContext:
         calibrated legacy trajectories exactly.
         """
         return LayoutParams(iter_max=10, steps_per_step_unit=2.0,
-                            seed=self.master_seed, backend=self.backend_name)
+                            seed=self.master_seed, backend=self.backend_name,
+                            fused=self.fused)
 
     @property
     def quality_bench_params(self) -> LayoutParams:
         """Stronger schedule used when layout quality (not speed) is measured."""
         return LayoutParams(iter_max=20, steps_per_step_unit=4.0,
-                            seed=self.master_seed, backend=self.backend_name)
+                            seed=self.master_seed, backend=self.backend_name,
+                            fused=self.fused)
 
     @property
     def smoke_params(self) -> LayoutParams:
         """Minimal schedule for the CI smoke gate (tiny graphs, seconds total)."""
         return LayoutParams(iter_max=6, steps_per_step_unit=1.5,
                             seed=self.seed_for("params/smoke"),
-                            backend=self.backend_name)
+                            backend=self.backend_name,
+                            fused=self.fused)
 
     # --------------------------------------------------------------- datasets
     def _cached(self, key: str, build):

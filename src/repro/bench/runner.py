@@ -2,11 +2,13 @@
 
 The runner owns everything the individual cases must not care about: suite
 resolution, warmup/repeat wall-time measurement, metric-determinism checking
-across repeats, progress reporting, and assembling the schema-versioned
-result document written to ``BENCH_<suite>.json``.
+across repeats, progress reporting, optional per-case cProfile artifacts
+(``--profile``), and assembling the schema-versioned result document written
+to ``BENCH_<suite>.json``.
 """
 from __future__ import annotations
 
+import os
 import sys
 import time
 from typing import Callable, Dict, List, Optional
@@ -62,6 +64,47 @@ def _measure(case: BenchCase, ctx: BenchContext, warmup: int,
     return result, times
 
 
+#: Lines of the cumulative-time ranking written per profiled case.
+_PROFILE_TOP = 40
+
+
+def _profile_case(case: BenchCase, ctx: BenchContext, directory: str) -> str:
+    """Run ``case`` once under cProfile; write a summary artifact, return its path.
+
+    The artifact is a plain-text cumulative-time ranking (top
+    :data:`_PROFILE_TOP` functions) — enough to see *where* a dispatch
+    regression lives (per-batch sampler round trips, PRNG call loops,
+    backend seam crossings) straight from a CI artifact, without rerunning
+    anything locally.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        case.run(ctx)
+    finally:
+        profiler.disable()
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats("cumulative").print_stats(_PROFILE_TOP)
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{case.name}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(f"cProfile summary: case={case.name} "
+                     f"(top {_PROFILE_TOP} by cumulative time)\n")
+        handle.write(buffer.getvalue())
+    return path
+
+
+def profile_dir_for(out_path: str) -> str:
+    """Directory the per-case profile artifacts go to for ``out_path``."""
+    root, _ = os.path.splitext(out_path)
+    return f"{root}_profile"
+
+
 def run_case(
     name: str,
     master_seed: int = DEFAULT_MASTER_SEED,
@@ -89,12 +132,17 @@ def run_suite(
     echo: Callable[[str], None] = print,
     show_tables: bool = False,
     backend: Optional[str] = None,
+    fused: Optional[bool] = None,
+    profile: bool = False,
 ) -> Dict:
     """Run every case of ``suite`` and return (and optionally write) results.
 
     ``repeats >= 2`` both tightens the wall-time estimate and *proves* the
     determinism contract: any metric whose value changes between repeats
-    aborts the run with :class:`SuiteRunError`.
+    aborts the run with :class:`SuiteRunError`. ``profile=True`` additionally
+    runs each case once under cProfile and writes one summary artifact per
+    case to ``<out>_profile/`` (the profiled run is extra — it never feeds
+    the recorded wall times).
     """
     if warmup < 0 or repeats < 1:
         raise ValueError("warmup must be >= 0 and repeats >= 1")
@@ -104,9 +152,13 @@ def run_suite(
     if not cases:
         raise SuiteRunError(f"suite {suite!r} resolved to zero cases")
 
-    ctx = BenchContext(master_seed=master_seed, backend=backend)
+    ctx = BenchContext(master_seed=master_seed, backend=backend, fused=fused)
     echo(f"bench run: suite={suite} cases={len(cases)} master_seed={master_seed} "
          f"warmup={warmup} repeats={repeats} backend={ctx.backend_name}")
+    profile_dir = None
+    if profile:
+        profile_dir = profile_dir_for(out_path if out_path
+                                      else default_output_path(suite))
 
     case_docs = []
     suite_t0 = time.perf_counter()
@@ -122,6 +174,9 @@ def run_suite(
                 f"case {case.name!r} failed its reproduction-shape assertions: {exc}"
             ) from exc
         elapsed = time.perf_counter() - t0
+        if profile_dir is not None:
+            artifact = _profile_case(case, ctx, profile_dir)
+            echo(f"    profile -> {artifact}")
         if show_tables:
             for table in result.tables:
                 echo(table)
@@ -148,9 +203,11 @@ def run_suite(
         "environment": environment_fingerprint(),
         # ``backend`` is runner metadata, not part of the timing-environment
         # fingerprint: documents produced before the key existed still
-        # compare cleanly against new ones.
+        # compare cleanly against new ones. ``fused`` is recorded only when
+        # explicitly overridden, for the same reason.
         "runner": {"warmup": warmup, "repeats": repeats,
-                   "backend": ctx.backend_name},
+                   "backend": ctx.backend_name,
+                   **({"fused": fused} if fused is not None else {})},
         "cases": case_docs,
     }
     echo(f"suite {suite!r} complete in {time.perf_counter() - suite_t0:.2f}s: "

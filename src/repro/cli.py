@@ -76,6 +76,15 @@ def build_parser() -> argparse.ArgumentParser:
                         help="array backend for the update hot path (default: "
                              "$REPRO_BACKEND or numpy; unavailable backends "
                              "fail fast with the recorded reason)")
+    parser.add_argument("--fused", action=argparse.BooleanOptionalAction,
+                        default=None,
+                        help="fused per-iteration execution path: run each "
+                             "SGD iteration as one backend dispatch instead "
+                             "of one sampler/update round trip per batch "
+                             "(default: auto — on when the backend "
+                             "advertises a fused kernel; --no-fused forces "
+                             "the per-batch loop; layouts are byte-identical "
+                             "either way on the numpy backend)")
     parser.add_argument("--threads", type=int, default=1,
                         help="emulated Hogwild worker count for the CPU engine")
     parser.add_argument("--out-lay", help="write the layout to a .lay binary file")
@@ -114,6 +123,7 @@ def layout_main(argv: Optional[Sequence[str]] = None) -> int:
         n_threads=args.threads,
         backend=args.backend,
         merge_policy=args.merge_policy,
+        fused=args.fused,
         levels=args.levels,
         level_iter_split=args.level_split,
     )
@@ -171,10 +181,19 @@ def build_bench_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--backend", default=None, choices=list(backend_names()),
                        help="array backend threaded through every case's layout "
                             "params (default: $REPRO_BACKEND or numpy)")
+    run_p.add_argument("--fused", action=argparse.BooleanOptionalAction,
+                       default=None,
+                       help="fused per-iteration execution path, threaded "
+                            "through every case's layout params (default: "
+                            "auto; --no-fused forces the per-batch loop)")
     run_p.add_argument("--out", default=None,
                        help="output path (default: BENCH_<suite>.json in the CWD)")
     run_p.add_argument("--tables", action="store_true",
                        help="print each case's human-readable reproduction tables")
+    run_p.add_argument("--profile", action="store_true",
+                       help="additionally run each case once under cProfile "
+                            "and write a per-case summary artifact next to "
+                            "the result file (dispatch-regression forensics)")
 
     cmp_p = sub.add_parser("compare",
                            help="diff two result files; exit 1 on regression")
@@ -214,6 +233,8 @@ def bench_main(argv: Optional[Sequence[str]] = None) -> int:
                 out_path=args.out,
                 show_tables=args.tables,
                 backend=args.backend,
+                fused=args.fused,
+                profile=args.profile,
             )
             return 0
         if args.bench_command == "compare":

@@ -7,7 +7,7 @@ SoA/AoS memory organisations, and the high-level :func:`layout_graph` API.
 from .params import LayoutParams
 from .schedule import make_schedule, distance_bounds
 from .layout import Layout, NodeDataLayout, initialize_layout, node_record_addresses
-from .selection import PairSampler, StepBatch, zipf_hop_distances
+from .selection import PairSampler, SelectionArrays, StepBatch, zipf_hop_distances
 from .updates import (
     UpdateStats,
     UpdateWorkspace,
@@ -15,6 +15,13 @@ from .updates import (
     batch_stress,
     compact_points,
     compute_displacements,
+    merge_batch,
+)
+from .fused import (
+    FusedIterationPlan,
+    FusedIterationStats,
+    run_iteration_host,
+    uniform_call_plan,
 )
 from .base import IterationRecord, LayoutEngine, LayoutResult, split_into_batches
 from .cpu_baseline import CpuBaselineEngine, SerialReferenceEngine
@@ -31,6 +38,7 @@ __all__ = [
     "initialize_layout",
     "node_record_addresses",
     "PairSampler",
+    "SelectionArrays",
     "StepBatch",
     "zipf_hop_distances",
     "UpdateStats",
@@ -39,6 +47,11 @@ __all__ = [
     "batch_stress",
     "compact_points",
     "compute_displacements",
+    "merge_batch",
+    "FusedIterationPlan",
+    "FusedIterationStats",
+    "run_iteration_host",
+    "uniform_call_plan",
     "IterationRecord",
     "LayoutEngine",
     "LayoutResult",

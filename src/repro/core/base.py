@@ -17,6 +17,7 @@ from ..backend import ArrayBackend, get_backend
 from ..graph.lean import LeanGraph
 from ..graph.path_index import PathIndex
 from ..prng.xoshiro import Xoshiro256Plus
+from .fused import FusedIterationPlan
 from .layout import Layout, NodeDataLayout, initialize_layout
 from .params import LayoutParams
 from .schedule import make_schedule
@@ -122,6 +123,37 @@ class LayoutEngine:
         """
         return UpdateWorkspace(max(plan) if plan else 1, backend=self.backend)
 
+    def fused_active(self) -> bool:
+        """Whether this run takes the fused per-iteration execution path.
+
+        ``params.fused`` resolves as: ``False`` — never; ``True``/``None``
+        (auto) — fused when every precondition holds:
+
+        * the backend advertises a fused kernel
+          (``backend.supports_fused_iteration``);
+        * the engine uses the stock batch hooks — any override of
+          :meth:`draw_batch` or :meth:`on_batch` (kernel-launch accounting,
+          warp merging, data reuse) forces the unfused path, because the
+          fused kernel never materialises per-batch hook calls;
+        * history recording is off (the per-iteration stress probe samples
+          the first *batch*, which only exists unfused).
+
+        An explicit ``fused=True`` that cannot be honoured falls back to the
+        unfused path rather than erroring — the fused path is an execution
+        strategy, not a semantic switch (layouts agree either way).
+        """
+        if self.params.fused is False:
+            return False
+        hooks_are_default = (
+            type(self).draw_batch is LayoutEngine.draw_batch
+            and type(self).on_batch is LayoutEngine.on_batch
+        )
+        return (
+            hooks_are_default
+            and not self.params.record_history
+            and getattr(self.backend, "supports_fused_iteration", False)
+        )
+
     # ------------------------------------------------------------------ run
     def run(self, initial: Optional[Layout] = None) -> LayoutResult:
         """Execute the full layout optimisation and return the result."""
@@ -144,6 +176,21 @@ class LayoutEngine:
         # path, paper Sec. V-B).
         plan = self.batch_plan(steps_per_iter)
         workspace = self.make_workspace(plan)
+        # Fused path: the whole iteration — selection, displacement, merge —
+        # is one backend dispatch over a pre-drawn uniform megablock, instead
+        # of a sample/apply_batch round trip per batch (repro.core.fused).
+        fused = bool(plan) and self.fused_active()
+        fused_plan: Optional[FusedIterationPlan] = None
+        if fused:
+            fused_plan = FusedIterationPlan(
+                sampler=self.sampler,
+                workspace=workspace,
+                merge=self.merge_policy(),
+                plan=plan,
+                n_streams=rng.n_streams,
+            )
+        self.add_counter("fused_iterations",
+                         float(params.iter_max if fused else 0))
         history: List[IterationRecord] = []
         total_terms = 0
         for iteration in range(params.iter_max):
@@ -152,17 +199,27 @@ class LayoutEngine:
             n_terms_iter = 0
             stress_probe = 0.0
             probe_count = 0
-            for batch_index, batch_size in enumerate(plan):
-                batch = self.draw_batch(rng, batch_size, iteration, batch_index)
-                batch = self.on_batch(batch, iteration, batch_index)
-                stats = apply_batch(coords, batch, eta, merge=self.merge_policy(),
-                                    workspace=workspace)
-                n_collisions += stats.n_point_collisions
-                n_terms_iter += stats.n_terms
-                if params.record_history and batch_index == 0:
-                    stress_probe += batch_stress(coords, batch,
-                                                 backend=self.backend)
-                    probe_count += 1
+            if fused:
+                block = rng.next_double_block(fused_plan.calls_per_iteration)
+                stats = self.backend.run_iteration(fused_plan, coords, block,
+                                                   eta, iteration)
+                n_collisions = stats.n_point_collisions
+                n_terms_iter = stats.n_terms
+                self.add_counter("update_dispatches", 1.0)
+            else:
+                for batch_index, batch_size in enumerate(plan):
+                    batch = self.draw_batch(rng, batch_size, iteration, batch_index)
+                    batch = self.on_batch(batch, iteration, batch_index)
+                    stats = apply_batch(coords, batch, eta,
+                                        merge=self.merge_policy(),
+                                        workspace=workspace)
+                    n_collisions += stats.n_point_collisions
+                    n_terms_iter += stats.n_terms
+                    if params.record_history and batch_index == 0:
+                        stress_probe += batch_stress(coords, batch,
+                                                     backend=self.backend)
+                        probe_count += 1
+                self.add_counter("update_dispatches", float(len(plan)))
             total_terms += n_terms_iter
             if params.record_history:
                 history.append(

@@ -139,6 +139,10 @@ class BatchedLayoutEngine(LayoutEngine):
         return split_into_batches(steps_per_iteration, self.params.batch_size)
 
     def on_batch(self, batch: StepBatch, iteration: int, batch_index: int) -> StepBatch:
+        # Overriding this hook is what forces the unfused per-batch path
+        # (LayoutEngine.fused_active): the whole point of this engine is its
+        # per-batch kernel-launch accounting, which a fused iteration would
+        # never trigger — exactly the Table IV contrast being modelled.
         self.op_profile.record_batch(len(batch))
         self.add_counter("kernel_launches", float(len(PYTORCH_OP_SEQUENCE)))
         return batch

@@ -17,6 +17,12 @@ Two modes are provided:
   reference used by the test-suite on tiny graphs to validate that the
   batched engines do not change the optimisation semantics.
 
+Both engines keep the stock ``draw_batch``/``on_batch`` hooks, so they are
+eligible for the fused per-iteration execution path
+(:mod:`repro.core.fused`) whenever the backend advertises it — fused and
+unfused runs are byte-identical on the NumPy backend, including the serial
+engine's one-term "segments".
+
 The engine also exposes :meth:`CpuBaselineEngine.access_trace`, which
 replays a sample of update terms into byte-level memory addresses under
 either node-data layout; the cache simulator consumes that trace for the

@@ -1,0 +1,220 @@
+"""Fused per-iteration execution path: one backend dispatch per iteration.
+
+The paper's headline speedup comes from running an entire SGD iteration as a
+*single* CUDA kernel launch (Sec. V; Table IV counts the launches), where the
+batched tensor formulation pays per-batch launch overhead. The Python
+analogue of that overhead is interpreter dispatch: the classic
+:meth:`~repro.core.base.LayoutEngine.run` loop crosses the engine→backend
+seam once per batch (``sampler.sample`` → ``apply_batch``), and on
+Chr.1-like graphs that dispatch now rivals the O(batch) numeric work.
+
+The fused path hoists the whole iteration below the backend seam:
+
+1. the engine pre-draws the iteration's full term budget as one uniform
+   megablock (:meth:`~repro.prng.xoshiro.Xoshiro256Plus.next_double_block`),
+2. hands it — plus this :class:`FusedIterationPlan` — to
+   :meth:`~repro.backend.base.ArrayBackend.run_iteration`, one call per
+   iteration, which performs selection + displacement + merge for every
+   planned batch segment internally, and
+3. receives aggregate :class:`FusedIterationStats` back.
+
+Segment semantics are *unchanged*: segments execute sequentially, each term
+reads the coordinates as of its segment's start, and the write merge per
+segment is the same hogwild/accumulate/last_writer scatter — so the fused
+path is a re-sequencing of the historical computation, not a new algorithm.
+On the NumPy backend it is the exact historical call sequence re-expressed
+segment by segment (only the per-batch *statistics* reductions are skipped,
+which touch no coordinate state), making fused layouts byte-identical to
+unfused ones; other backends are held to the conformance matrix's 1e-9.
+
+The megablock consumes the PRNG streams in the exact order the per-batch
+draws did (vector-major, call-minor per segment, segments in plan order), so
+fused and unfused runs see identical sampled terms.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from .params import LayoutParams
+from .selection import PairSampler, SelectionArrays
+from .updates import UpdateWorkspace, merge_batch
+
+__all__ = [
+    "FusedIterationStats",
+    "FusedIterationPlan",
+    "uniform_call_plan",
+    "run_iteration_host",
+]
+
+#: Uniform vectors consumed per term by the default selection branch
+#: (6 path/cooling/pair vectors + 2 endpoint coin flips).
+SAMPLE_VECTORS = 8
+
+
+def uniform_call_plan(plan: List[int], n_streams: int) -> Tuple[np.ndarray, int]:
+    """PRNG calls each batch segment consumes from the per-iteration megablock.
+
+    Segment ``s`` of ``plan[s]`` terms needs ``ceil(plan[s] / n_streams)``
+    calls per uniform vector, hence ``SAMPLE_VECTORS ×`` that many calls in
+    total — exactly what the unfused per-batch ``PairSampler._uniforms``
+    would have drawn, in the same stream order. Returns the per-segment
+    per-vector call counts and the iteration's total call count.
+    """
+    if n_streams < 1:
+        raise ValueError("n_streams must be >= 1")
+    need = np.asarray([-(-int(b) // n_streams) for b in plan], dtype=np.int64)
+    return need, int(SAMPLE_VECTORS * need.sum())
+
+
+@dataclass
+class FusedIterationStats:
+    """Aggregate counters one fused iteration hands back to the engine."""
+
+    n_terms: int
+    n_point_collisions: int
+
+
+@dataclass
+class FusedIterationPlan:
+    """Everything a backend needs to run whole iterations without the engine.
+
+    Built once per :meth:`LayoutEngine.run` and passed to every
+    ``backend.run_iteration`` call of the run; backends may stash per-run
+    derived state (device copies of the selection arrays, compiled kernels)
+    in :attr:`cache` keyed by their name.
+    """
+
+    sampler: PairSampler
+    workspace: UpdateWorkspace
+    merge: str
+    plan: List[int]
+    n_streams: int
+    need_calls: np.ndarray = field(init=False)
+    calls_per_iteration: int = field(init=False)
+    cache: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.plan = [int(b) for b in self.plan]
+        if any(b < 1 for b in self.plan):
+            raise ValueError("batch plan segments must all be >= 1")
+        self.need_calls, self.calls_per_iteration = uniform_call_plan(
+            self.plan, self.n_streams)
+
+    # ------------------------------------------------------------ accessors
+    @property
+    def params(self) -> LayoutParams:
+        """Layout parameters governing selection (zipf/cooling knobs)."""
+        return self.sampler.params
+
+    @property
+    def host_arrays(self) -> SelectionArrays:
+        """Host-resident selection arrays (the sampler's own bundle)."""
+        return self.sampler.arrays
+
+    def device_arrays(self, backend) -> SelectionArrays:
+        """Selection arrays in ``backend``'s memory space, converted once.
+
+        Host backends get the sampler's bundle back untouched; device
+        backends pay one upload per run and afterwards select terms without
+        touching host memory.
+        """
+        key = f"arrays/{backend.name}"
+        arrays = self.cache.get(key)
+        if arrays is None:
+            host = self.host_arrays
+            if backend.asarray(host.cum_steps) is host.cum_steps:
+                arrays = host
+            else:
+                arrays = SelectionArrays(*(backend.asarray(a) for a in host))
+            self.cache[key] = arrays
+        return arrays
+
+
+def iteration_draws(uniforms, plan: List[int], need_calls: np.ndarray,
+                    n_streams: int, xp=np):
+    """Re-lay the megablock into one ``(8, total_terms)`` selection block.
+
+    Segment ``s``'s unfused draws are
+    ``megablock_rows.reshape(8, need·streams)[:, :batch]``; this concatenates
+    those per-segment vectors in plan order, coalescing runs of equally-sized
+    segments into a single reshape/transpose (the common plan is uniform
+    batches plus one remainder, so an iteration re-lays in ~2 array ops).
+    Every element keeps its per-segment value — the transform is pure layout.
+    """
+    total_terms = sum(plan)
+    out = xp.empty((SAMPLE_VECTORS, total_terms), dtype=np.float64)
+    n_seg = len(plan)
+    seg = 0
+    row = 0
+    col = 0
+    while seg < n_seg:
+        batch = plan[seg]
+        need = int(need_calls[seg])
+        run_end = seg
+        while (run_end + 1 < n_seg and plan[run_end + 1] == batch
+               and int(need_calls[run_end + 1]) == need):
+            run_end += 1
+        k = run_end - seg + 1
+        rows = SAMPLE_VECTORS * need
+        block = uniforms[row:row + k * rows].reshape(
+            k, SAMPLE_VECTORS, need * n_streams)[:, :, :batch]
+        out[:, col:col + k * batch] = block.transpose(1, 0, 2).reshape(
+            SAMPLE_VECTORS, k * batch)
+        row += k * rows
+        col += k * batch
+        seg = run_end + 1
+    return out
+
+
+def run_iteration_host(backend, plan: FusedIterationPlan, coords,
+                       uniforms: np.ndarray, eta: float,
+                       iteration: int) -> FusedIterationStats:
+    """Generic fused iteration over the backend's array namespace.
+
+    The reference implementation of the ``run_iteration`` contract, split
+    the way the data dependencies allow:
+
+    * **selection is batch-free** — a term's identity depends only on its
+      own uniforms and the static graph arrays, never on the coordinates —
+      so the *whole iteration's* terms are selected in one vectorised pass
+      over the re-laid megablock (every selection op is elementwise, so the
+      per-term values are byte-identical to segment-at-a-time selection);
+    * **merges stay sequential** — the planned segments walk the selected
+      terms as views, each reading coordinates as of its segment start and
+      scattering through the backend's merge kernel, exactly the unfused
+      staleness/merge semantics.
+
+    On host backends the pass runs on NumPy; a backend advertising
+    ``fused_device_selection`` gets the megablock uploaded once per
+    iteration and selection executed in its own namespace over a
+    device-resident :class:`SelectionArrays` bundle, which is what stops
+    per-batch host→device round trips on CuPy.
+    """
+    sampler = plan.sampler
+    if getattr(backend, "fused_device_selection", False):
+        xp = backend.xp
+        arrays = plan.device_arrays(backend)
+        uniforms = backend.asarray(uniforms)
+        draws = iteration_draws(uniforms, plan.plan, plan.need_calls,
+                                plan.n_streams, xp=xp)
+    else:
+        xp = None
+        arrays = None
+        draws = iteration_draws(uniforms, plan.plan, plan.need_calls,
+                                plan.n_streams)
+    total_terms = draws.shape[1]
+    terms = sampler.select_from_uniforms(draws, total_terms, iteration,
+                                         xp=xp, arrays=arrays)
+    n_collisions = 0
+    offset = 0
+    for batch_size in plan.plan:
+        segment = terms.slice(offset, offset + batch_size)
+        offset += batch_size
+        _, collisions = merge_batch(coords, segment, eta, plan.merge,
+                                    plan.workspace)
+        n_collisions += collisions
+    return FusedIterationStats(n_terms=total_terms,
+                               n_point_collisions=n_collisions)

@@ -167,6 +167,10 @@ class OptimizedGpuEngine(LayoutEngine):
     def draw_batch(
         self, rng: Xoshiro256Plus, batch_size: int, iteration: int, batch_index: int
     ) -> StepBatch:
+        # Overriding draw_batch/on_batch forces the unfused per-batch path
+        # (LayoutEngine.fused_active): warp merging and data reuse make
+        # per-warp draws between batches, and the gpusim profiling replays
+        # those per-batch decisions — a fused iteration would skip both.
         warp = self.config.warp_size
         cooling_mask = None
         path_override = None

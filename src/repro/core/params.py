@@ -68,6 +68,18 @@ class LayoutParams:
     name is validated when the engine is constructed, so an unavailable
     backend fails fast with the recorded reason."""
 
+    fused: Optional[bool] = None
+    """Fused per-iteration execution path (:mod:`repro.core.fused`): run
+    selection + displacement + merge for a whole iteration as one backend
+    dispatch instead of one ``sample``/``apply_batch`` round trip per batch.
+    ``None`` (auto, the default) fuses whenever the backend advertises a
+    fused kernel and the engine uses the stock batch hooks; ``False`` forces
+    the per-batch loop. Engines that override ``draw_batch``/``on_batch``
+    (the batched PyTorch-style engine's kernel accounting, the GPU engine's
+    warp merging) and history-recording runs always take the unfused path so
+    their per-batch hooks keep firing. Fused and unfused layouts are
+    byte-identical on the NumPy backend."""
+
     levels: int = 1
     """Maximum depth of the multilevel coarsening hierarchy
     (:mod:`repro.multilevel`). ``1`` (the default) runs the flat engine
@@ -108,6 +120,8 @@ class LayoutParams:
         if self.backend is not None and (not isinstance(self.backend, str)
                                          or not self.backend):
             raise ValueError("backend must be None or a non-empty backend name")
+        if self.fused is not None and not isinstance(self.fused, bool):
+            raise ValueError("fused must be None (auto), True or False")
         if self.levels < 1:
             raise ValueError("levels must be >= 1")
         if self.coarsen_min_nodes < 1:

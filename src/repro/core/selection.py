@@ -23,7 +23,7 @@ device-resident sampler only has to override ``host_xp``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Protocol
+from typing import NamedTuple, Optional, Protocol
 
 import numpy as np
 
@@ -32,13 +32,41 @@ from ..graph.lean import LeanGraph
 from ..graph.path_index import PathIndex
 from .params import LayoutParams
 
-__all__ = ["StepBatch", "PairSampler", "zipf_hop_distances"]
+__all__ = ["StepBatch", "PairSampler", "SelectionArrays", "zipf_hop_distances"]
 
 
 class _MultiStreamRNG(Protocol):
-    """The minimal PRNG interface the sampler needs (uniform doubles)."""
+    """The minimal PRNG interface the sampler needs (uniform doubles).
+
+    ``next_double`` (one call, one value per stream) is the portable core.
+    Generators additionally exposing ``n_streams`` and a bulk
+    ``next_double_block(n_calls)`` (:class:`~repro.prng.xoshiro.Xoshiro256Plus`)
+    let the sampler fill its uniform blocks without a Python loop per call;
+    the draw order is identical either way.
+    """
 
     def next_double(self) -> np.ndarray: ...  # pragma: no cover - protocol
+
+
+class SelectionArrays(NamedTuple):
+    """The graph/index arrays term selection reads, in one memory space.
+
+    The host sampler builds one bundle over the lean graph's NumPy arrays;
+    device backends with a device-resident fused path convert the same bundle
+    once per run (``backend.asarray``) so per-iteration selection runs where
+    the coordinates live instead of round-tripping batches through the host.
+    """
+
+    cum_steps: np.ndarray
+    """``(n_paths + 1,)`` cumulative step counts (inverse-CDF path sampling)."""
+    path_offsets: np.ndarray
+    """``(n_paths + 1,)`` flat step offsets per path."""
+    path_counts: np.ndarray
+    """``(n_paths,)`` step count per path."""
+    step_nodes: np.ndarray
+    """``(total_steps,)`` node id per flat step."""
+    step_positions: np.ndarray
+    """``(total_steps,)`` nucleotide position per flat step."""
 
 
 @dataclass
@@ -66,9 +94,39 @@ class StepBatch:
     def __len__(self) -> int:
         return int(self.flat_i.size)
 
+    def slice(self, start: int, stop: int) -> "StepBatch":
+        """Zero-copy view of terms ``[start, stop)`` (shares this batch's arrays).
+
+        The fused iteration path selects a whole iteration's terms in one
+        vectorised pass and walks the planned segments as views; mutating a
+        slice mutates the parent.
+        """
+        return StepBatch(
+            path=self.path[start:stop],
+            flat_i=self.flat_i[start:stop],
+            flat_j=self.flat_j[start:stop],
+            node_i=self.node_i[start:stop],
+            node_j=self.node_j[start:stop],
+            vis_i=self.vis_i[start:stop],
+            vis_j=self.vis_j[start:stop],
+            d_ref=self.d_ref[start:stop],
+            in_cooling=self.in_cooling[start:stop],
+        )
+
     def nonzero_terms(self) -> "StepBatch":
-        """Drop terms whose reference distance is zero (no gradient defined)."""
+        """Drop terms whose reference distance is zero (no gradient defined).
+
+        In the common case every sampled pair has ``d_ref > 0`` (two distinct
+        steps of one path start at distinct nucleotide positions unless a
+        zero-length node intervenes); the batch is then returned *as is* —
+        no 9-array fancy-index copy on the hot path. Callers must treat the
+        result as read-only aliasing of the input, which they already did:
+        the filtered batch was always backed by fresh copies only when the
+        mask removed something.
+        """
         keep = self.d_ref > 0
+        if bool(keep.all()):
+            return self
         return StepBatch(
             path=self.path[keep],
             flat_i=self.flat_i[keep],
@@ -126,6 +184,15 @@ class PairSampler:
             raise ValueError("cannot sample node pairs from a graph without path steps")
         self._offsets = graph.path_offsets
         self._counts = graph.path_step_counts
+        # Host-side bundle of everything selection reads; the fused iteration
+        # path hands (a device copy of) this to select_from_uniforms.
+        self.arrays = SelectionArrays(
+            cum_steps=self.index.cum_steps,
+            path_offsets=graph.path_offsets,
+            path_counts=graph.path_step_counts,
+            step_nodes=graph.step_nodes,
+            step_positions=graph.step_positions,
+        )
 
     # ------------------------------------------------------------------ API
     def sample(
@@ -151,17 +218,55 @@ class PairSampler:
         # of lines 12-13. Drawing all 8 at once halves the Python-level call
         # overhead while consuming the PRNG streams in the exact order the
         # historical two-call scheme did, so sampled batches are unchanged.
-        xp = self._xp
         draws = self._uniforms(rng, batch_size, 8)
-        # Line 5: path selection proportional to step count.
+        return self.select_from_uniforms(
+            draws,
+            batch_size,
+            iteration,
+            forced_cooling=forced_cooling,
+            cooling_mask=cooling_mask,
+            path_override=path_override,
+        )
+
+    def select_from_uniforms(
+        self,
+        draws: np.ndarray,
+        batch_size: int,
+        iteration: int,
+        forced_cooling: Optional[bool] = None,
+        cooling_mask: Optional[np.ndarray] = None,
+        path_override: Optional[np.ndarray] = None,
+        xp=None,
+        arrays: Optional[SelectionArrays] = None,
+    ) -> StepBatch:
+        """Term selection over a pre-drawn ``(8, batch_size)`` uniform block.
+
+        This is the selection half of :meth:`sample` — the exact historical
+        call sequence, with the PRNG draws supplied by the caller instead of
+        drawn here. The fused iteration path slices one per-iteration
+        megablock into these 8-vector views, so selection issues from one
+        bulk draw per *iteration* rather than one per batch; the selected
+        terms are byte-identical either way.
+
+        ``xp``/``arrays`` default to the sampler's host namespace and host
+        :class:`SelectionArrays`; a device backend passes its own namespace
+        plus a device-resident copy of the bundle to keep selection (and the
+        resulting :class:`StepBatch`) off the host entirely.
+        """
+        xp = self._xp if xp is None else xp
+        arrays = self.arrays if arrays is None else arrays
+        # Line 5: path selection proportional to step count — inverse CDF
+        # over the cumulative step counts (PathIndex.sample_paths verbatim).
         if path_override is not None:
             paths = xp.asarray(path_override, dtype=np.int64)
             if paths.size != batch_size:
                 raise ValueError("path_override must have one entry per term")
         else:
-            paths = self.index.sample_paths(draws[0])
-        starts = self._offsets[paths]
-        counts = self._counts[paths]
+            total = arrays.cum_steps[-1]
+            targets = xp.minimum((draws[0] * total).astype(np.int64), total - 1)
+            paths = xp.searchsorted(arrays.cum_steps, targets, side="right") - 1
+        starts = arrays.path_offsets[paths]
+        counts = arrays.path_counts[paths]
         # Line 6: cooling decision = (iter >= iter_max/2) or coin flip.
         if cooling_mask is not None:
             cooling = xp.asarray(cooling_mask, dtype=bool)
@@ -192,10 +297,10 @@ class PairSampler:
 
         flat_i = starts + local_i
         flat_j = starts + local_j
-        node_i = self.graph.step_nodes[flat_i]
-        node_j = self.graph.step_nodes[flat_j]
+        node_i = arrays.step_nodes[flat_i]
+        node_j = arrays.step_nodes[flat_j]
         d_ref = xp.abs(
-            self.graph.step_positions[flat_i] - self.graph.step_positions[flat_j]
+            arrays.step_positions[flat_i] - arrays.step_positions[flat_j]
         ).astype(np.float64)
         # Lines 12-13: endpoint coin flips (vectors 6-7 of the bulk draw).
         vis_i = (draws[6] < 0.5).astype(np.int64)
@@ -257,24 +362,30 @@ class PairSampler:
         which preserves decorrelation across the batch because consecutive
         calls advance every stream.
 
-        The whole ``(n_vectors × batch_size)`` block is filled by one flat
-        Python-level loop over PRNG calls writing rows of a single
-        preallocated buffer — no per-vector inner loop. The consumption
-        order (vector-major, call-minor) is the sampler's determinism
-        contract: every call advances each stream once, and call ``c`` of
-        vector ``v`` is PRNG call ``v · ceil(batch/streams) + c``. Changing
-        this order changes every sampled batch and therefore requires
-        regenerating the committed smoke baseline (see ROADMAP).
+        The whole ``(n_vectors × batch_size)`` block comes from one bulk
+        ``next_double_block`` fill (generators without the bulk API fall back
+        to a flat per-call loop). The consumption order (vector-major,
+        call-minor) is the sampler's determinism contract: every call
+        advances each stream once, and call ``c`` of vector ``v`` is PRNG
+        call ``v · ceil(batch/streams) + c`` — byte-identical between the
+        bulk and per-call fills (pinned by ``tests/test_update_hotpath.py``).
+        Changing this order changes every sampled batch and therefore
+        requires regenerating the committed smoke baseline (see ROADMAP).
         """
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         if n_vectors < 1:
             raise ValueError("n_vectors must be >= 1")
-        first = np.asarray(rng.next_double(), dtype=np.float64)
-        n_streams = first.size
-        need_calls = int(np.ceil(batch_size / n_streams))
-        block = np.empty((n_vectors * need_calls, n_streams), dtype=np.float64)
-        block[0] = first
-        for call in range(1, block.shape[0]):
-            block[call] = rng.next_double()
+        n_streams = getattr(rng, "n_streams", 0)
+        if n_streams and hasattr(rng, "next_double_block"):
+            need_calls = -(-batch_size // n_streams)
+            block = rng.next_double_block(n_vectors * need_calls)
+        else:
+            first = np.asarray(rng.next_double(), dtype=np.float64)
+            n_streams = first.size
+            need_calls = int(np.ceil(batch_size / n_streams))
+            block = np.empty((n_vectors * need_calls, n_streams), dtype=np.float64)
+            block[0] = first
+            for call in range(1, block.shape[0]):
+                block[call] = rng.next_double()
         return block.reshape(n_vectors, need_calls * n_streams)[:, :batch_size]

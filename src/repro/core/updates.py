@@ -57,6 +57,7 @@ __all__ = [
     "UpdateWorkspace",
     "compact_points",
     "compute_displacements",
+    "merge_batch",
     "apply_batch",
     "batch_stress",
 ]
@@ -214,6 +215,46 @@ def compute_displacements(
     return point_i, point_j, delta
 
 
+def merge_batch(
+    coords: np.ndarray,
+    batch: StepBatch,
+    eta: float,
+    merge: str,
+    workspace: UpdateWorkspace,
+) -> Tuple[np.ndarray, int]:
+    """Displace and merge one non-empty batch into ``coords`` — no statistics.
+
+    The coordinate-mutating core shared by :func:`apply_batch` and the fused
+    iteration path (:mod:`repro.core.fused`): gather, stress gradient, merge
+    staging and the backend merge scatter, issuing exactly the call sequence
+    :func:`apply_batch` always issued. What it *skips* is everything that
+    only feeds :class:`UpdateStats` — the per-term step-magnitude reductions
+    and the zero-reference count — which touch no coordinate state, so
+    layouts are byte-identical whichever entry point ran.
+
+    Returns ``(delta, n_point_collisions)``; ``delta`` is the per-term
+    displacement view into the workspace (overwritten by the next call).
+    """
+    be = workspace.backend
+    xp = be.xp
+    n = len(batch)
+    point_i, point_j, delta = compute_displacements(coords, batch, eta,
+                                                    workspace=workspace)
+
+    all_points = workspace.merge_points[: 2 * n]
+    all_points[:n] = point_i
+    all_points[n:] = point_j
+    all_deltas = workspace.merge_delta[: 2 * n]
+    xp.negative(delta, out=all_deltas[:n])
+    all_deltas[n:] = delta
+
+    touched, inverse, counts = be.compact_points(all_points)
+    n_collisions = int(all_points.size - touched.size)
+
+    be.merge_scatter(coords, touched, inverse, counts, all_deltas, merge)
+    return delta, n_collisions
+
+
 def apply_batch(
     coords: np.ndarray,
     batch: StepBatch,
@@ -235,25 +276,12 @@ def apply_batch(
     if len(batch) == 0:
         return UpdateStats(0, 0, 0, 0.0, 0.0)
     be = _resolve_backend(workspace, backend)
-    xp = be.xp
     n = len(batch)
     ws = workspace if workspace is not None else UpdateWorkspace(n, backend=be)
-    point_i, point_j, delta = compute_displacements(coords, batch, eta, workspace=ws)
-
-    all_points = ws.merge_points[: 2 * n]
-    all_points[:n] = point_i
-    all_points[n:] = point_j
-    all_deltas = ws.merge_delta[: 2 * n]
-    xp.negative(delta, out=all_deltas[:n])
-    all_deltas[n:] = delta
-
-    touched, inverse, counts = be.compact_points(all_points)
-    n_collisions = int(all_points.size - touched.size)
-
-    be.merge_scatter(coords, touched, inverse, counts, all_deltas, merge)
+    delta, n_collisions = merge_batch(coords, batch, eta, merge, ws)
 
     mags = be.rowwise_sqnorm(delta, out=ws.mag[:n])
-    xp.sqrt(mags, out=mags)
+    be.xp.sqrt(mags, out=mags)
     return UpdateStats(
         n_terms=n,
         n_zero_ref=int((batch.d_ref <= 0).sum()),

@@ -48,6 +48,16 @@ class PathIndex:
         """Per-path selection probabilities (∝ number of steps)."""
         return self._path_weights
 
+    @property
+    def cum_steps(self) -> np.ndarray:
+        """``(n_paths + 1,)`` cumulative step counts backing path sampling.
+
+        This is the inverse-CDF table :meth:`sample_paths` searches; the
+        fused iteration kernels consume it directly so their in-kernel path
+        selection is the same table lookup.
+        """
+        return self._cum_steps
+
     def path_of_global_step(self, global_step: np.ndarray) -> np.ndarray:
         """Map flat step indices to the owning path index (vectorised)."""
         global_step = np.asarray(global_step, dtype=np.int64)

@@ -90,6 +90,60 @@ class Xoshiro256Plus:
         """One double in [0, 1) per stream (53-bit mantissa, like the C code)."""
         return (self.next_uint64() >> _U64(11)).astype(np.float64) * (2.0 ** -53)
 
+    def next_double_block(self, n_calls: int) -> np.ndarray:
+        """``n_calls`` consecutive :meth:`next_double` outputs as one block.
+
+        Returns a ``(n_calls, n_streams)`` float64 array whose row ``c`` is
+        byte-identical to the ``c``-th :meth:`next_double` call, and advances
+        every stream exactly ``n_calls`` times — the bulk draw and the
+        call-at-a-time draw are interchangeable mid-stream. The state
+        transition is inherently sequential (no jump-ahead), so a Python loop
+        over calls remains, but it is a single tight loop over in-place
+        ``uint64`` ops with the overflow errstate entered once per block
+        instead of once per call — this is the megabatch fill of the fused
+        iteration path and the backing store of the sampler's bulk uniforms.
+        """
+        n_calls = int(n_calls)
+        if n_calls < 0:
+            raise ValueError("n_calls must be >= 0")
+        out = np.empty((n_calls, self.n_streams), dtype=np.float64)
+        if n_calls == 0:
+            return out
+        # Work on contiguous per-word columns with two preallocated uint64
+        # temporaries and ``out=`` ufunc calls throughout: the loop body
+        # allocates nothing and never touches strided views, which is what
+        # makes the bulk fill markedly cheaper than repeated next_double()
+        # while computing the identical word sequence.
+        s = self.state
+        s0 = np.ascontiguousarray(s[:, 0])
+        s1 = np.ascontiguousarray(s[:, 1])
+        s2 = np.ascontiguousarray(s[:, 2])
+        s3 = np.ascontiguousarray(s[:, 3])
+        t = np.empty_like(s0)
+        r = np.empty_like(s0)
+        k11, k17, k45, k19 = _U64(11), _U64(17), _U64(45), _U64(19)
+        with np.errstate(over="ignore"):
+            for c in range(n_calls):
+                np.add(s0, s3, out=r)
+                np.right_shift(r, k11, out=r)
+                np.copyto(out[c], r)  # uint64 -> float64, same as astype
+                np.left_shift(s1, k17, out=t)
+                np.bitwise_xor(s2, s0, out=s2)
+                np.bitwise_xor(s3, s1, out=s3)
+                np.bitwise_xor(s1, s2, out=s1)
+                np.bitwise_xor(s0, s3, out=s0)
+                np.bitwise_xor(s2, t, out=s2)
+                # rotl64(s3, 45) inlined: << 45 | >> (64 - 45).
+                np.left_shift(s3, k45, out=r)
+                np.right_shift(s3, k19, out=s3)
+                np.bitwise_or(r, s3, out=s3)
+        s[:, 0] = s0
+        s[:, 1] = s1
+        s[:, 2] = s2
+        s[:, 3] = s3
+        out *= 2.0 ** -53
+        return out
+
     def next_bool(self) -> np.ndarray:
         """One boolean coin flip per stream (top bit of the output)."""
         return (self.next_uint64() >> _U64(63)).astype(bool)

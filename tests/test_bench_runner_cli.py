@@ -1,6 +1,8 @@
 """Tests for the benchmark runner and the ``repro bench`` CLI."""
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.bench.registry import BenchRegistry, CaseResult, bench_case
@@ -180,6 +182,49 @@ class TestBenchCli:
         with pytest.raises(SystemExit):
             main(["layout", "--dataset", "HLA-DRB1",
                   "--merge-policy", "banana"])
+
+    def test_layout_fused_flags_parse_and_run(self, tmp_path, capsys):
+        """--fused / --no-fused reach LayoutParams; layouts stay identical."""
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        assert parser.parse_args(["--dataset", "HLA-DRB1"]).fused is None
+        assert parser.parse_args(["--dataset", "HLA-DRB1",
+                                  "--fused"]).fused is True
+        assert parser.parse_args(["--dataset", "HLA-DRB1",
+                                  "--no-fused"]).fused is False
+        blobs = {}
+        for flag in ("--fused", "--no-fused"):
+            out = tmp_path / f"{flag.strip('-')}.lay"
+            assert main(["layout", "--dataset", "HLA-DRB1", "--scale", "0.05",
+                         "--iter-max", "2", "--steps-factor", "1.0", flag,
+                         "--out-lay", str(out)]) == 0
+            blobs[flag] = out.read_bytes()
+        # The execution strategy must not move the layout (numpy backend).
+        assert blobs["--fused"] == blobs["--no-fused"]
+
+    def test_bench_run_fused_flag_threads_into_context(self, tmp_path):
+        """--no-fused is recorded in runner metadata and changes no metrics."""
+        out = tmp_path / "unfused.json"
+        assert main(["bench", "run", "--suite", "smoke", "--no-fused",
+                     "--out", str(out)]) == 0
+        doc = load_results(str(out))
+        assert doc["runner"]["fused"] is False
+
+    def test_bench_run_profile_writes_per_case_artifacts(self, toy_registry,
+                                                         tmp_path):
+        out = tmp_path / "BENCH_smoke.json"
+        run_suite("smoke", registry=toy_registry, out_path=str(out),
+                  echo=lambda *_: None, profile=True)
+        from repro.bench.runner import profile_dir_for
+
+        profile_dir = profile_dir_for(str(out))
+        artifact = os.path.join(profile_dir, "toy_fast.txt")
+        assert os.path.isfile(artifact)
+        with open(artifact, encoding="utf-8") as handle:
+            text = handle.read()
+        assert "cProfile summary: case=toy_fast" in text
+        assert "cumulative" in text
 
 
 class TestCommittedBaseline:

@@ -301,6 +301,32 @@ class TestPairSampler:
         batch = sampler.sample(rng, 512, iteration=0).nonzero_terms()
         assert np.all(batch.d_ref > 0)
 
+    def test_nonzero_terms_fast_path_skips_copy(self, small_synthetic):
+        # When every d_ref > 0 (the common case) the batch is returned as
+        # is — no 9-array fancy-index copy on the hot path.
+        sampler, rng = self._sampler(small_synthetic)
+        batch = sampler.sample(rng, 64, iteration=0)
+        clean = batch.nonzero_terms()  # pre-filtered: all-positive already
+        assert clean.nonzero_terms() is clean
+        assert clean.nonzero_terms().d_ref is clean.d_ref
+        # A batch with zero-reference terms still takes the filtering copy.
+        dirty = type(batch)(**{k: getattr(clean, k).copy() for k in (
+            "path", "flat_i", "flat_j", "node_i", "node_j",
+            "vis_i", "vis_j", "d_ref", "in_cooling")})
+        dirty.d_ref[0] = 0.0
+        filtered = dirty.nonzero_terms()
+        assert filtered is not dirty
+        assert len(filtered) == len(dirty) - 1
+        assert np.all(filtered.d_ref > 0)
+
+    def test_batch_slice_returns_views(self, small_synthetic):
+        sampler, rng = self._sampler(small_synthetic)
+        batch = sampler.sample(rng, 32, iteration=0)
+        part = batch.slice(4, 12)
+        assert len(part) == 8
+        assert part.node_i.base is batch.node_i
+        np.testing.assert_array_equal(part.d_ref, batch.d_ref[4:12])
+
     def test_empty_graph_rejected(self):
         from repro.graph import LeanGraph
         empty = LeanGraph.from_paths([1, 1], [])

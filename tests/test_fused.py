@@ -1,0 +1,325 @@
+"""Fused per-iteration execution path: contract, byte-identity, fallbacks.
+
+The fused path (``LayoutParams(fused=...)`` → ``backend.run_iteration``) is
+an execution strategy, not an algorithm change: on the NumPy backend a fused
+run must be *byte-identical* to the classic per-batch loop for every engine
+and merge policy, while dispatching into the backend O(1) times per
+iteration instead of O(n_batches). These tests pin that contract — plus the
+megablock draw-order equivalence, the hook/history fallbacks, the CLI
+plumbing, and (via a stubbed ``numba`` module executing the ``@njit`` source
+as plain Python) the fused Numba kernel's selection/merge logic on machines
+without the JIT toolchain.
+"""
+from __future__ import annotations
+
+import importlib
+import sys
+import types
+
+import numpy as np
+import pytest
+
+from repro.backend import get_backend
+from repro.core import (
+    BatchedLayoutEngine,
+    CpuBaselineEngine,
+    FusedIterationPlan,
+    LayoutParams,
+    OptimizedGpuEngine,
+    PairSampler,
+    SerialReferenceEngine,
+    UpdateWorkspace,
+    initialize_layout,
+    merge_batch,
+    run_iteration_host,
+    uniform_call_plan,
+)
+from repro.core.fused import iteration_draws
+from repro.prng import Xoshiro256Plus
+from repro.synth import PangenomeConfig, simulate_pangenome
+
+MERGES = ("hogwild", "accumulate", "last_writer")
+
+
+@pytest.fixture(scope="module")
+def fused_graph():
+    """Small synthetic pangenome with bubbles and a loop (fast to lay out)."""
+    return simulate_pangenome(PangenomeConfig(
+        n_backbone_nodes=40, n_paths=3, mean_node_length=4.0, bubble_rate=0.12,
+        deletion_rate=0.03, n_structural_variants=1, sv_length_nodes=4,
+        loop_rate=0.1, seed=29, name="fused-test"))
+
+
+def _params(merge: str = "hogwild", **kwargs) -> LayoutParams:
+    base = dict(iter_max=4, steps_per_step_unit=1.0, seed=23,
+                merge_policy=merge, backend="numpy")
+    base.update(kwargs)
+    return LayoutParams(**base)
+
+
+# ---------------------------------------------------------------------------
+# Plan / megablock bookkeeping
+# ---------------------------------------------------------------------------
+
+class TestUniformCallPlan:
+    def test_calls_match_unfused_draws(self):
+        need, total = uniform_call_plan([64, 64, 10], n_streams=64)
+        np.testing.assert_array_equal(need, [1, 1, 1])
+        assert total == 8 * 3
+
+    def test_multi_call_segments(self):
+        need, total = uniform_call_plan([20, 20, 3], n_streams=7)
+        np.testing.assert_array_equal(need, [3, 3, 1])
+        assert total == 8 * 7
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            uniform_call_plan([4], n_streams=0)
+        with pytest.raises(ValueError):
+            FusedIterationPlan(sampler=None, workspace=None, merge="hogwild",
+                               plan=[4, 0], n_streams=4)
+
+    def test_iteration_draws_equals_per_segment_slicing(self):
+        plan = [20, 20, 3]
+        streams = 7
+        need, total_calls = uniform_call_plan(plan, streams)
+        rng_block = Xoshiro256Plus(5, n_streams=streams)
+        block = rng_block.next_double_block(total_calls)
+        relaid = iteration_draws(block, plan, need, streams)
+        # Reference: what the unfused per-batch _uniforms would have drawn.
+        rng_ref = Xoshiro256Plus(5, n_streams=streams)
+        offset = 0
+        for batch in plan:
+            expect = PairSampler._uniforms(rng_ref, batch, 8)
+            np.testing.assert_array_equal(relaid[:, offset:offset + batch],
+                                          expect)
+            offset += batch
+        assert offset == relaid.shape[1]
+
+
+# ---------------------------------------------------------------------------
+# Engine-level byte-identity and fallbacks
+# ---------------------------------------------------------------------------
+
+class TestEngineFusedPath:
+    @pytest.mark.parametrize("merge", MERGES)
+    @pytest.mark.parametrize("engine_cls", (CpuBaselineEngine,
+                                            SerialReferenceEngine))
+    def test_fused_byte_identical_to_unfused(self, fused_graph, engine_cls,
+                                             merge):
+        unfused = engine_cls(fused_graph, _params(merge, fused=False)).run()
+        fused = engine_cls(fused_graph, _params(merge, fused=True)).run()
+        np.testing.assert_array_equal(fused.layout.coords,
+                                      unfused.layout.coords)
+        assert fused.total_terms == unfused.total_terms
+        assert fused.counters["fused_iterations"] == 4.0
+        assert unfused.counters["fused_iterations"] == 0.0
+
+    def test_auto_resolves_to_fused_on_numpy(self, fused_graph):
+        result = CpuBaselineEngine(fused_graph, _params()).run()
+        assert result.counters["fused_iterations"] > 0
+
+    def test_dispatches_are_o1_per_iteration(self, fused_graph):
+        fused = CpuBaselineEngine(fused_graph, _params(fused=True)).run()
+        unfused = CpuBaselineEngine(fused_graph, _params(fused=False)).run()
+        assert fused.counters["update_dispatches"] == fused.iterations
+        assert (unfused.counters["update_dispatches"]
+                > unfused.counters["fused_iterations"] + unfused.iterations)
+
+    def test_engines_with_batch_hooks_force_unfused(self, fused_graph):
+        batch = BatchedLayoutEngine(fused_graph,
+                                    _params(fused=True, batch_size=32))
+        gpu = OptimizedGpuEngine(fused_graph, _params(fused=True))
+        for engine in (batch, gpu):
+            assert not engine.fused_active()
+            result = engine.run()
+            assert result.counters["fused_iterations"] == 0.0
+        # The hook still fired: the batched engine kept its launch accounting.
+        assert batch.op_profile.total_launches > 0
+
+    def test_record_history_forces_unfused(self, fused_graph):
+        engine = CpuBaselineEngine(fused_graph,
+                                   _params(fused=True, record_history=True))
+        assert not engine.fused_active()
+        result = engine.run()
+        assert result.counters["fused_iterations"] == 0.0
+        assert len(result.history) == 4
+
+    def test_fused_false_forces_per_batch(self, fused_graph):
+        engine = CpuBaselineEngine(fused_graph, _params(fused=False))
+        assert not engine.fused_active()
+
+    def test_multilevel_threads_fused_through_levels(self, fused_graph):
+        from repro.multilevel import MultilevelDriver
+
+        params = _params(fused=True).with_(levels=2)
+        flat_unfused = MultilevelDriver(
+            fused_graph, params.with_(fused=False), engine="cpu").run()
+        fused = MultilevelDriver(fused_graph, params, engine="cpu").run()
+        np.testing.assert_array_equal(fused.layout.coords,
+                                      flat_unfused.layout.coords)
+
+    def test_params_validation(self):
+        with pytest.raises(ValueError):
+            LayoutParams(fused="yes")
+        assert LayoutParams(fused=True).fused is True
+        assert LayoutParams().fused is None
+
+
+# ---------------------------------------------------------------------------
+# run_iteration contract against a hand-rolled per-segment loop
+# ---------------------------------------------------------------------------
+
+class TestRunIterationContract:
+    def _manual_reference(self, sampler, plan, streams, merge, coords, eta,
+                          iteration, seed):
+        """The unfused loop, spelled out: per-segment draw + select + merge."""
+        rng = Xoshiro256Plus(seed, n_streams=streams)
+        ws = UpdateWorkspace(max(plan), backend=get_backend("numpy"))
+        collisions = 0
+        for batch_size in plan:
+            draws = PairSampler._uniforms(rng, batch_size, 8)
+            batch = sampler.select_from_uniforms(draws, batch_size, iteration)
+            _, n_coll = merge_batch(coords, batch, eta, merge, ws)
+            collisions += n_coll
+        return collisions
+
+    @pytest.mark.parametrize("merge", MERGES)
+    @pytest.mark.parametrize("plan,streams", [([20, 20, 3], 7), ([1] * 25, 1),
+                                              ([64, 64, 10], 64)])
+    def test_host_runner_matches_manual_loop(self, fused_graph, merge, plan,
+                                             streams):
+        sampler = PairSampler(fused_graph, _params(merge))
+        base = initialize_layout(fused_graph, seed=3).coords
+        expect = base.copy()
+        expect_collisions = self._manual_reference(
+            sampler, plan, streams, merge, expect, 0.7, iteration=1, seed=41)
+
+        backend = get_backend("numpy")
+        fplan = FusedIterationPlan(
+            sampler=sampler, merge=merge, plan=plan, n_streams=streams,
+            workspace=UpdateWorkspace(max(plan), backend=backend))
+        rng = Xoshiro256Plus(41, n_streams=streams)
+        got = base.copy()
+        stats = backend.run_iteration(
+            fplan, got, rng.next_double_block(fplan.calls_per_iteration),
+            0.7, 1)
+        np.testing.assert_array_equal(got, expect)
+        assert stats.n_terms == sum(plan)
+        assert stats.n_point_collisions == expect_collisions
+
+    def test_device_selection_flag_routes_through_backend_namespace(
+            self, fused_graph):
+        """A host backend flagged fused_device_selection must be a no-op swap."""
+        backend = get_backend("numpy")
+        sampler = PairSampler(fused_graph, _params())
+        plan = [16, 16]
+        fplan = FusedIterationPlan(
+            sampler=sampler, merge="hogwild", plan=plan, n_streams=8,
+            workspace=UpdateWorkspace(16, backend=backend))
+        base = initialize_layout(fused_graph, seed=5).coords
+        rng = Xoshiro256Plus(9, n_streams=8)
+        block = rng.next_double_block(fplan.calls_per_iteration)
+        expect = base.copy()
+        run_iteration_host(backend, fplan, expect, block, 0.5, 0)
+
+        class Deviceish(type(backend)):
+            fused_device_selection = True
+
+        got = base.copy()
+        run_iteration_host(Deviceish(), fplan, got, block, 0.5, 0)
+        np.testing.assert_array_equal(got, expect)
+        # The device bundle was cached on the plan under the backend's name.
+        assert f"arrays/{backend.name}" in fplan.cache
+
+
+# ---------------------------------------------------------------------------
+# Numba fused kernel logic, executed as plain Python via a stubbed numba
+# ---------------------------------------------------------------------------
+
+@pytest.fixture()
+def numba_backend_module(monkeypatch):
+    """Import repro.backend.numba_backend with ``numba.njit`` as a no-op.
+
+    On machines without numba this executes the kernels' *source* as plain
+    Python — same IEEE double math, same control flow — so the fused kernel
+    logic is exercised everywhere, not only on the CI job that installs the
+    JIT toolchain. The module is evicted afterwards so other tests see the
+    real import behaviour.
+    """
+    stub = types.ModuleType("numba")
+
+    def njit(*args, **kwargs):
+        if args and callable(args[0]):
+            return args[0]
+
+        def decorate(func):
+            return func
+
+        return decorate
+
+    stub.njit = njit
+    monkeypatch.setitem(sys.modules, "numba", stub)
+    sys.modules.pop("repro.backend.numba_backend", None)
+    module = importlib.import_module("repro.backend.numba_backend")
+    yield module
+    sys.modules.pop("repro.backend.numba_backend", None)
+
+
+class TestNumbaFusedKernel:
+    def test_self_test_passes_in_pure_python(self, numba_backend_module):
+        numba_backend_module.NumbaBackend().self_test()
+
+    @pytest.mark.parametrize("merge", MERGES)
+    def test_fused_kernel_matches_numpy_reference(self, fused_graph,
+                                                  numba_backend_module, merge):
+        """Selection + merge logic of the @njit kernel vs the NumPy path.
+
+        Integer selection must agree *exactly* (an off-by-one pair pick is a
+        logic bug, not rounding), which the collision-count equality pins;
+        coordinates are held to the conformance tolerance.
+        """
+        params = _params(merge)
+        sampler = PairSampler(fused_graph, params)
+        numpy_backend = get_backend("numpy")
+        stub_backend = numba_backend_module.NumbaBackend()
+        plan = [20, 20, 3]
+        streams = 7
+        base = initialize_layout(fused_graph, seed=7).coords
+
+        def run(backend, coords):
+            fplan = FusedIterationPlan(
+                sampler=sampler, merge=merge, plan=plan, n_streams=streams,
+                workspace=UpdateWorkspace(max(plan), backend=numpy_backend))
+            rng = Xoshiro256Plus(params.seed, n_streams=streams)
+            totals = []
+            for iteration in range(3):  # crosses the cooling boundary
+                block = rng.next_double_block(fplan.calls_per_iteration)
+                stats = backend.run_iteration(fplan, coords, block,
+                                              0.9 - 0.2 * iteration, iteration)
+                totals.append((stats.n_terms, stats.n_point_collisions))
+            return totals
+
+        expect = base.copy()
+        ref_stats = run(numpy_backend, expect)
+        got = base.copy()
+        stub_stats = run(stub_backend, got)
+        assert stub_stats == ref_stats
+        np.testing.assert_allclose(got, expect, atol=1e-9, rtol=0)
+
+    def test_merge_scatter_kernel_matches_reference(self, numba_backend_module,
+                                                    fused_graph):
+        sampler = PairSampler(fused_graph, _params())
+        rng = Xoshiro256Plus(3, n_streams=32)
+        batch = sampler.sample(rng, 96, iteration=0)
+        base = initialize_layout(fused_graph, seed=1).coords
+        from repro.core import apply_batch
+
+        for merge in MERGES:
+            expect = base.copy()
+            ref = apply_batch(expect, batch, 0.6, merge=merge)
+            got = base.copy()
+            stats = apply_batch(got, batch, 0.6, merge=merge,
+                                backend=numba_backend_module.NumbaBackend())
+            np.testing.assert_allclose(got, expect, atol=1e-12, rtol=0)
+            assert stats.n_point_collisions == ref.n_point_collisions

@@ -113,6 +113,35 @@ class TestXoshiro256Plus:
         with pytest.raises(ValueError):
             gen.next_below(0)
 
+    def test_next_double_block_matches_repeated_calls(self):
+        # The bulk fill is byte-identical to stacking next_double() outputs
+        # and leaves the state exactly n_calls steps ahead — the fused
+        # megabatch draw and the per-call draw are interchangeable.
+        for n_streams in (1, 3, 64):
+            bulk = Xoshiro256Plus(99, n_streams=n_streams)
+            loop = Xoshiro256Plus(99, n_streams=n_streams)
+            block = bulk.next_double_block(23)
+            assert block.shape == (23, n_streams)
+            expected = np.vstack([loop.next_double() for _ in range(23)])
+            np.testing.assert_array_equal(block, expected)
+            np.testing.assert_array_equal(bulk.state, loop.state)
+
+    def test_next_double_block_resumes_mid_stream(self):
+        bulk = Xoshiro256Plus(5, n_streams=8)
+        loop = Xoshiro256Plus(5, n_streams=8)
+        bulk.next_double_block(3)
+        for _ in range(3):
+            loop.next_double()
+        np.testing.assert_array_equal(bulk.next_double(), loop.next_double())
+
+    def test_next_double_block_edge_sizes(self):
+        rng = Xoshiro256Plus(1, n_streams=4)
+        before = rng.state.copy()
+        assert rng.next_double_block(0).shape == (0, 4)
+        np.testing.assert_array_equal(rng.state, before)
+        with pytest.raises(ValueError):
+            rng.next_double_block(-1)
+
     def test_copy_is_independent(self):
         gen = Xoshiro256Plus(2, n_streams=3)
         clone = gen.copy()

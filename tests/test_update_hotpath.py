@@ -273,6 +273,30 @@ class TestBulkUniforms:
         with pytest.raises(ValueError):
             PairSampler._uniforms(rng, 4, 0)
 
+    def test_uniforms_block_fill_matches_per_call_fallback(self):
+        """The next_double_block fast path equals the per-call legacy fill.
+
+        ``_uniforms`` consults ``n_streams``/``next_double_block`` when the
+        generator has them; a minimal next_double-only generator takes the
+        historical loop. Both must consume the streams identically — this is
+        the draw-order contract that keeps the smoke baseline pinned.
+        """
+
+        class CallOnly:
+            def __init__(self, inner):
+                self.inner = inner
+
+            def next_double(self):
+                return self.inner.next_double()
+
+        for n_streams, batch in ((1, 9), (16, 40), (64, 64), (64, 130)):
+            fast = Xoshiro256Plus(31, n_streams=n_streams)
+            legacy = CallOnly(Xoshiro256Plus(31, n_streams=n_streams))
+            got = PairSampler._uniforms(fast, batch, 8)
+            expect = PairSampler._uniforms(legacy, batch, 8)
+            np.testing.assert_array_equal(got, expect)
+            np.testing.assert_array_equal(fast.state, legacy.inner.state)
+
     def test_sample_unchanged_by_call_merging(self, small_synthetic):
         """sample()'s one 8-vector draw equals the historical 6+2 split."""
         sampler = PairSampler(small_synthetic, LayoutParams())
