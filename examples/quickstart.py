@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from pathlib import Path
 
-from repro.core import LayoutParams, layout_graph
+from repro.core import layout_graph
 from repro.graph import LeanGraph, figure1_example, gfa_to_text
 from repro.io import write_lay
 from repro.metrics import sampled_path_stress
@@ -31,7 +31,7 @@ def main() -> None:
     print(gfa_to_text(toy))
     toy_lean = LeanGraph.from_variation_graph(toy)
     toy_result = layout_graph(toy_lean, engine="serial",
-                              params=LayoutParams(iter_max=10, steps_per_step_unit=5.0))
+                              iter_max=10, steps_per_step_unit=5.0)
     save_svg(toy_result.layout, OUTPUT / "fig1_toy.svg", graph=toy_lean)
     print(f"wrote {OUTPUT / 'fig1_toy.svg'}")
 
@@ -39,10 +39,12 @@ def main() -> None:
     graph = hla_drb1_like(scale=0.25)
     print(f"\nHLA-DRB1-like graph: {graph.n_nodes} nodes, {graph.n_paths} paths, "
           f"{graph.total_steps} path steps")
-    params = LayoutParams(iter_max=15, steps_per_step_unit=3.0, seed=9399)
+    overrides = dict(iter_max=15, steps_per_step_unit=3.0, seed=9399)
 
-    cpu = layout_graph(graph, engine="cpu", params=params)
-    gpu = layout_graph(graph, engine="gpu", params=params)
+    cpu = layout_graph(graph, engine="cpu", **overrides)
+    gpu = layout_graph(graph, engine="gpu", **overrides)
+    print(f"CPU run: {cpu.summary()['wall_time_s']:.2f}s, "
+          f"{cpu.summary()['update_dispatches']:.0f} dispatches")
 
     cpu_sps = sampled_path_stress(cpu.layout, graph, samples_per_step=30, seed=0)
     gpu_sps = sampled_path_stress(gpu.layout, graph, samples_per_step=30, seed=0)
@@ -56,6 +58,13 @@ def main() -> None:
     save_svg(gpu.layout, OUTPUT / "hla_gpu_layout.svg", graph=graph)
     write_lay(gpu.layout, OUTPUT / "hla_gpu_layout.lay")
     print(f"wrote {OUTPUT / 'hla_gpu_layout.svg'} and {OUTPUT / 'hla_gpu_layout.lay'}")
+
+    # ---- Process-parallel hogwild over shared memory ------------------------
+    par = layout_graph(graph, workers=2, **overrides)
+    summary = par.summary()
+    print(f"\nshm engine ({summary['workers']:.0f} workers): "
+          f"{summary['wall_time_s']:.2f}s, "
+          f"collision fraction {summary['collision_fraction']:.4f}")
 
 
 if __name__ == "__main__":

@@ -16,20 +16,28 @@ and every substrate its evaluation depends on:
 * :mod:`repro.gpusim` — the GPU execution-model simulator (coalescing, caches,
   warp divergence, analytical timing) standing in for the CUDA hardware;
 * :mod:`repro.metrics` — path stress and sampled path stress;
-* :mod:`repro.parallel`, :mod:`repro.render`, :mod:`repro.io`,
-  :mod:`repro.bench` — Hogwild analysis, rendering, persistence and the
-  benchmark harness.
+* :mod:`repro.parallel` — Hogwild collision analysis and the
+  process-parallel shared-memory engine (``repro.parallel.shm``,
+  ``LayoutParams(workers=N)``);
+* :mod:`repro.render`, :mod:`repro.io`, :mod:`repro.bench` — rendering,
+  persistence and the benchmark harness.
 
 Quickstart::
 
     from repro.synth import hla_drb1_like
-    from repro.core import layout_graph, LayoutParams
+    from repro.core import layout_graph
     from repro.metrics import sampled_path_stress
 
     graph = hla_drb1_like(scale=0.2)
+    # Any LayoutParams field works as a keyword override; unknown names
+    # raise TypeError with the valid-name list.
     result = layout_graph(graph, engine="gpu",
-                          params=LayoutParams(iter_max=10, steps_per_step_unit=2.0))
+                          iter_max=10, steps_per_step_unit=2.0)
     print(sampled_path_stress(result.layout, graph).value)
+    print(result.summary())          # engine, wall time, dispatch counters
+
+    # Real multi-core hogwild: N processes racing over shared memory.
+    result = layout_graph(graph, workers=4, iter_max=10)
 """
 from . import (
     backend,

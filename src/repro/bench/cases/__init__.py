@@ -19,6 +19,7 @@ from . import (  # noqa: F401  (imports register the cases)
     perf_fused,
     perf_hotpath,
     perf_multilevel,
+    perf_parallel,
     smoke,
     table01_graph_properties,
     table02_cache_profile,

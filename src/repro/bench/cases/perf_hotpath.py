@@ -144,7 +144,7 @@ def run_sampler(ctx) -> CaseResult:
 def run_engine_iteration(ctx) -> CaseResult:
     """One full CPU-baseline iteration (draw + merge over all batches)."""
     graph = ctx.chr1_graph
-    params = ctx.smoke_params.with_(iter_max=1, n_threads=8)
+    params = ctx.smoke_params.with_(iter_max=1, simulated_threads=8)
     engine = CpuBaselineEngine(graph, params)
 
     result_holder = {}

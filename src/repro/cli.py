@@ -21,11 +21,10 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 from typing import List, Optional, Sequence
 
 from .backend import backend_names
-from .core import GpuKernelConfig, LayoutParams, layout_graph
+from .core import GpuKernelConfig, layout_graph
 from .graph import LeanGraph, parse_gfa, validate_lean
 from .io import write_lay, write_tsv
 from .metrics import sampled_path_stress
@@ -33,6 +32,21 @@ from .render import save_svg
 from .synth import REPRESENTATIVE_SPECS, load_dataset
 
 __all__ = ["main", "build_parser", "build_bench_parser", "bench_main", "layout_main"]
+
+
+class _DeprecatedThreadsAction(argparse.Action):
+    """``--threads`` alias: warns, then stores into ``simulated_threads``.
+
+    The old flag name suggested real OS threads but only ever widened the
+    emulated hogwild staleness window; it maps onto ``--simulated-threads``
+    (real multi-core execution is ``--workers``).
+    """
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        print("[warn] --threads is deprecated: it only drives the *simulated* "
+              "hogwild emulation; use --simulated-threads (real multi-core "
+              "execution is --workers)", file=sys.stderr)
+        setattr(namespace, self.dest, values)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -53,7 +67,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--gpu", action="store_true",
                         help="use the optimized GPU kernel engine")
     parser.add_argument("--engine", default=None,
-                        choices=["cpu", "serial", "batch", "gpu", "gpu-base"],
+                        choices=["cpu", "serial", "batch", "gpu", "gpu-base",
+                                 "shm"],
                         help="explicit engine selection (overrides --gpu)")
     parser.add_argument("--iter-max", type=int, default=30, help="SGD iterations")
     parser.add_argument("--steps-factor", type=float, default=10.0,
@@ -85,8 +100,19 @@ def build_parser() -> argparse.ArgumentParser:
                              "advertises a fused kernel; --no-fused forces "
                              "the per-batch loop; layouts are byte-identical "
                              "either way on the numpy backend)")
-    parser.add_argument("--threads", type=int, default=1,
-                        help="emulated Hogwild worker count for the CPU engine")
+    parser.add_argument("--simulated-threads", dest="simulated_threads",
+                        type=int, default=1,
+                        help="emulated Hogwild thread count for the CPU "
+                             "engine's staleness window (no OS threads are "
+                             "spawned; see --workers for real parallelism)")
+    parser.add_argument("--threads", dest="simulated_threads", type=int,
+                        action=_DeprecatedThreadsAction,
+                        help="deprecated alias for --simulated-threads")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="real OS worker processes for the "
+                             "process-parallel shared-memory hogwild engine "
+                             "(N>1 routes the run through repro.parallel.shm; "
+                             "cpu engine only)")
     parser.add_argument("--out-lay", help="write the layout to a .lay binary file")
     parser.add_argument("--out-tsv", help="write the layout to a TSV file")
     parser.add_argument("--out-svg", help="render the layout to an SVG file")
@@ -116,29 +142,36 @@ def layout_main(argv: Optional[Sequence[str]] = None) -> int:
         report.raise_if_invalid()
 
     engine = args.engine or ("gpu" if args.gpu else "cpu")
-    params = LayoutParams(
+    from .backend import resolve_backend_name
+
+    multilevel_note = f", levels={args.levels}" if args.levels > 1 else ""
+    workers_note = f", workers={args.workers}" if args.workers > 1 else ""
+    print(f"laying out {source_name}: {graph.n_nodes} nodes, {graph.n_paths} paths, "
+          f"{graph.total_steps} steps, engine={engine}, "
+          f"backend={resolve_backend_name(args.backend)}"
+          f"{multilevel_note}{workers_note}, merge={args.merge_policy}")
+    # One run path for CLI, quickstart and examples: layout_graph with
+    # per-call param overrides (unknown names raise before any work starts).
+    result = layout_graph(
+        graph,
+        engine=engine,
+        gpu_config=GpuKernelConfig() if engine == "gpu" else None,
         iter_max=args.iter_max,
         steps_per_step_unit=args.steps_factor,
         seed=args.seed,
-        n_threads=args.threads,
+        simulated_threads=args.simulated_threads,
+        workers=args.workers,
         backend=args.backend,
         merge_policy=args.merge_policy,
         fused=args.fused,
         levels=args.levels,
         level_iter_split=args.level_split,
     )
-    from .backend import resolve_backend_name
-
-    multilevel_note = f", levels={args.levels}" if args.levels > 1 else ""
-    print(f"laying out {source_name}: {graph.n_nodes} nodes, {graph.n_paths} paths, "
-          f"{graph.total_steps} steps, engine={engine}, "
-          f"backend={resolve_backend_name(args.backend)}"
-          f"{multilevel_note}, merge={args.merge_policy}")
-    t0 = time.perf_counter()
-    result = layout_graph(graph, engine=engine, params=params,
-                          gpu_config=GpuKernelConfig() if engine == "gpu" else None)
-    elapsed = time.perf_counter() - t0
-    print(f"layout complete in {elapsed:.2f}s ({result.total_terms} update terms)")
+    summary = result.summary()
+    print(f"layout complete in {summary['wall_time_s']:.2f}s "
+          f"({summary['total_terms']} update terms, "
+          f"{summary['update_dispatches']} dispatches, "
+          f"collision fraction {summary['collision_fraction']:.3f})")
 
     if args.out_lay:
         write_lay(result.layout, args.out_lay)

@@ -15,11 +15,11 @@ from .base import LayoutResult
 from .batch_engine import BatchedLayoutEngine
 from .cpu_baseline import CpuBaselineEngine, SerialReferenceEngine
 from .gpu_kernel import GpuKernelConfig, OptimizedGpuEngine
-from .params import LayoutParams
+from .params import LayoutParams, replace_params
 
 __all__ = ["ENGINES", "layout_graph", "make_engine"]
 
-ENGINES = ("cpu", "serial", "batch", "gpu", "gpu-base")
+ENGINES = ("cpu", "serial", "batch", "gpu", "gpu-base", "shm")
 """Engine names accepted by :func:`layout_graph`."""
 
 
@@ -38,6 +38,7 @@ def make_engine(
     engine: str = "cpu",
     params: Optional[LayoutParams] = None,
     gpu_config: Optional[GpuKernelConfig] = None,
+    **overrides,
 ):
     """Construct (but do not run) the requested layout engine.
 
@@ -50,14 +51,22 @@ def make_engine(
         ``"serial"`` — exact serial reference (small graphs only);
         ``"batch"`` — PyTorch-style batched engine;
         ``"gpu"`` — optimized GPU kernel (all optimisations on);
-        ``"gpu-base"`` — base CUDA kernel (no optimisations).
+        ``"gpu-base"`` — base CUDA kernel (no optimisations);
+        ``"shm"`` — process-parallel shared-memory hogwild engine
+        (:class:`repro.parallel.shm.ShmHogwildEngine`, ``params.workers``
+        OS processes).
     params:
         Layout hyper-parameters; defaults to :class:`LayoutParams`.
     gpu_config:
         Optional kernel configuration for the ``"gpu"`` engine.
+    overrides:
+        Per-call :class:`LayoutParams` field overrides applied on top of
+        ``params`` (e.g. ``workers=4``, ``fused=False``); unknown names
+        raise ``TypeError``.
     """
     lean = _as_lean(graph)
     params = params if params is not None else LayoutParams()
+    params = replace_params(params, overrides)
     if engine == "cpu":
         return CpuBaselineEngine(lean, params)
     if engine == "serial":
@@ -70,6 +79,11 @@ def make_engine(
     if engine == "gpu-base":
         cfg = gpu_config if gpu_config is not None else GpuKernelConfig.baseline()
         return OptimizedGpuEngine(lean, params, cfg)
+    if engine == "shm":
+        # Runtime import: parallel depends on core, never the reverse.
+        from ..parallel.shm import ShmHogwildEngine
+
+        return ShmHogwildEngine(lean, params)
     raise ValueError(f"unknown engine {engine!r}; choose from {ENGINES}")
 
 
@@ -78,25 +92,54 @@ def layout_graph(
     engine: str = "cpu",
     params: Optional[LayoutParams] = None,
     gpu_config: Optional[GpuKernelConfig] = None,
+    **overrides,
 ) -> LayoutResult:
     """Compute a 2-D layout of ``graph`` with the chosen engine.
 
-    When ``params.levels > 1`` the run goes through the multilevel V-cycle
-    driver (:class:`repro.multilevel.MultilevelDriver`), which coarsens the
-    graph and runs the chosen engine per hierarchy level; ``levels=1`` (the
-    default) is the flat engine untouched.
+    This is the one run entry point the quickstart, the examples and the
+    CLI all share. Keyword ``overrides`` are per-call
+    :class:`LayoutParams` field replacements applied on top of ``params``
+    (``dataclasses.replace`` semantics, unknown names rejected with a
+    ``TypeError`` listing the valid knobs), so one-knob changes never
+    require hand-building a frozen dataclass::
+
+        layout_graph(graph, workers=4)            # process-parallel run
+        layout_graph(graph, engine="gpu", fused=False, seed=7)
+
+    Routing on the resolved params:
+
+    * ``levels > 1`` — the multilevel V-cycle driver
+      (:class:`repro.multilevel.MultilevelDriver`) coarsens the graph and
+      runs the chosen engine per hierarchy level;
+    * ``workers > 1`` — the process-parallel shared-memory engine
+      (:class:`repro.parallel.shm.ShmHogwildEngine`); only the ``"cpu"``
+      engine (whose work it partitions) and flat runs (``levels == 1``)
+      support it;
+    * otherwise the flat single-process engine, untouched.
 
     Examples
     --------
     >>> from repro.synth import hla_drb1_like
-    >>> from repro.core import layout_graph, LayoutParams
+    >>> from repro.core import layout_graph
     >>> graph = hla_drb1_like(scale=0.05)
-    >>> result = layout_graph(graph, engine="gpu",
-    ...                       params=LayoutParams(iter_max=5, steps_per_step_unit=1.0))
+    >>> result = layout_graph(graph, engine="gpu", iter_max=5,
+    ...                       steps_per_step_unit=1.0)
     >>> result.layout.coords.shape[0] == 2 * graph.n_nodes
     True
     """
-    if params is not None and params.levels > 1:
+    params = params if params is not None else LayoutParams()
+    params = replace_params(params, overrides)
+    if params.workers > 1 or engine == "shm":
+        if engine not in ("cpu", "shm"):
+            raise ValueError(
+                f"workers={params.workers} requires the 'cpu' engine (the "
+                f"shm engine partitions its work), got engine={engine!r}")
+        if params.levels > 1:
+            raise ValueError(
+                "workers > 1 and levels > 1 cannot be combined yet; run the "
+                "multilevel driver single-process or the shm engine flat")
+        return make_engine(graph, "shm", params).run()
+    if params.levels > 1:
         # Runtime import: multilevel depends on core, never the reverse.
         from ..multilevel.driver import MultilevelDriver
 

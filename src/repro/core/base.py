@@ -9,8 +9,9 @@ the engines stay focused on what the paper varies.
 """
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional
 
 
 from ..backend import ArrayBackend, get_backend
@@ -67,12 +68,48 @@ class LayoutResult:
     total_terms: int
     history: List[IterationRecord] = field(default_factory=list)
     counters: Dict[str, float] = field(default_factory=dict)
+    wall_time_s: float = 0.0
 
     def final_stress(self) -> Optional[float]:
         """Last recorded sampled stress (None when history is disabled)."""
         if not self.history:
             return None
         return self.history[-1].sampled_stress
+
+    def summary(self) -> Dict[str, Any]:
+        """Stable flat summary of the run — the external reporting contract.
+
+        Bench cases, the CLI, and any future serving layer read *this*
+        instead of reaching into engine internals: engine name, a params
+        echo, iteration/term totals, wall time, the dispatch counters, and
+        the collision statistics the hogwild analysis consumes. Keys only
+        ever get added, never renamed.
+        """
+        return {
+            "engine": self.engine,
+            "n_points": int(self.layout.coords.shape[0]),
+            "iterations": int(self.iterations),
+            "total_terms": int(self.total_terms),
+            "wall_time_s": float(self.wall_time_s),
+            "point_collisions": int(self.counters.get("point_collisions", 0)),
+            "collision_fraction": (
+                float(self.counters.get("point_collisions", 0))
+                / max(int(self.total_terms), 1)
+            ),
+            "update_dispatches": int(self.counters.get("update_dispatches", 0)),
+            "fused_iterations": int(self.counters.get("fused_iterations", 0)),
+            "workers": int(self.params.workers),
+            "final_stress": self.final_stress(),
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready dict: :meth:`summary` plus the full params echo and the
+        raw counter map (layout coordinates are deliberately excluded)."""
+        return {
+            **self.summary(),
+            "params": asdict(self.params),
+            "counters": dict(self.counters),
+        }
 
 
 class LayoutEngine:
@@ -157,6 +194,7 @@ class LayoutEngine:
     # ------------------------------------------------------------------ run
     def run(self, initial: Optional[Layout] = None) -> LayoutResult:
         """Execute the full layout optimisation and return the result."""
+        t_start = time.perf_counter()
         params = self.params
         layout = (
             initial.copy()
@@ -221,6 +259,7 @@ class LayoutEngine:
                         probe_count += 1
                 self.add_counter("update_dispatches", float(len(plan)))
             total_terms += n_terms_iter
+            self.add_counter("point_collisions", float(n_collisions))
             if params.record_history:
                 history.append(
                     IterationRecord(
@@ -241,6 +280,7 @@ class LayoutEngine:
             total_terms=total_terms,
             history=history,
             counters=dict(self._counters),
+            wall_time_s=time.perf_counter() - t_start,
         )
 
     # -------------------------------------------------------------- helpers

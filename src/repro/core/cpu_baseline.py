@@ -8,11 +8,12 @@ same node at the same time (paper Sec. III-A).
 Two modes are provided:
 
 * :class:`CpuBaselineEngine` — the practical mode. Steps are processed in
-  "rounds" of ``n_threads × hogwild_round`` terms; every term in a round
-  reads the coordinates as of the round start and the writes are merged,
-  which is the same staleness window a real Hogwild pool of that size
-  exhibits. With ``n_threads=1`` and ``hogwild_round=1`` it degenerates to
-  the exact serial algorithm.
+  "rounds" of ``simulated_threads × hogwild_round`` terms; every term in a
+  round reads the coordinates as of the round start and the writes are
+  merged, which is the same staleness window a real Hogwild pool of that
+  size exhibits. With ``simulated_threads=1`` and ``hogwild_round=1`` it
+  degenerates to the exact serial algorithm. (Real OS-level parallelism is
+  the separate ``workers`` knob — :mod:`repro.parallel.shm`.)
 * :class:`SerialReferenceEngine` — a deliberately slow, term-at-a-time
   reference used by the test-suite on tiny graphs to validate that the
   batched engines do not change the optimisation semantics.
@@ -70,11 +71,12 @@ class CpuBaselineEngine(LayoutEngine):
         # thread of odgi-layout owns its own generator, and giving every slot
         # of the Hogwild round its own decorrelated stream keeps the batched
         # emulation's draws independent without per-step Python overhead.
-        streams = min(max(self.params.n_threads, 1) * self.hogwild_round, 8192)
+        streams = min(max(self.params.simulated_threads, 1) * self.hogwild_round,
+                      8192)
         return Xoshiro256Plus(self.params.seed, n_streams=streams)
 
     def batch_plan(self, steps_per_iteration: int) -> List[int]:
-        chunk = max(1, self.params.n_threads * self.hogwild_round)
+        chunk = max(1, self.params.simulated_threads * self.hogwild_round)
         return split_into_batches(steps_per_iteration, chunk)
 
     # ------------------------------------------------------------- tracing

@@ -47,6 +47,7 @@ __all__ = [
     "FusedIterationPlan",
     "uniform_call_plan",
     "run_iteration_host",
+    "slice_plan",
 ]
 
 #: Uniform vectors consumed per term by the default selection branch
@@ -67,6 +68,39 @@ def uniform_call_plan(plan: List[int], n_streams: int) -> Tuple[np.ndarray, int]
         raise ValueError("n_streams must be >= 1")
     need = np.asarray([-(-int(b) // n_streams) for b in plan], dtype=np.int64)
     return need, int(SAMPLE_VECTORS * need.sum())
+
+
+def slice_plan(plan: List[int], workers: int) -> List[List[int]]:
+    """Partition a batch plan into contiguous per-worker sub-plans.
+
+    The process-parallel engine (:mod:`repro.parallel.shm`) hands each
+    worker a contiguous run of the iteration's batch segments; boundaries
+    are chosen on the cumulative term count, so worker loads stay balanced
+    even when the plan ends in a small remainder segment. Segments are
+    never split — each sub-plan is a valid plan for a worker-local
+    :class:`FusedIterationPlan` — and the effective worker count is clamped
+    to ``len(plan)`` so every returned sub-plan is non-empty. With
+    ``workers=1`` the single sub-plan is the plan itself, which is what
+    pins the one-worker engine byte-identical to the flat path.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    plan = [int(b) for b in plan]
+    if not plan:
+        return [[]]
+    n_workers = min(int(workers), len(plan))
+    if n_workers == 1:
+        return [plan]
+    cum = np.cumsum(plan)
+    total = int(cum[-1])
+    bounds = [0]
+    for k in range(1, n_workers):
+        target = total * k / n_workers
+        idx = int(np.searchsorted(cum, target))
+        # Keep every part non-empty: leave room for the remaining workers.
+        bounds.append(min(max(idx, bounds[-1] + 1), len(plan) - (n_workers - k)))
+    bounds.append(len(plan))
+    return [plan[bounds[k]:bounds[k + 1]] for k in range(n_workers)]
 
 
 @dataclass

@@ -12,10 +12,11 @@ are insensitive to the multiplier.
 """
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import warnings
+from dataclasses import dataclass, fields, replace
 from typing import Optional
 
-__all__ = ["LayoutParams"]
+__all__ = ["LayoutParams", "replace_params"]
 
 
 @dataclass(frozen=True)
@@ -49,8 +50,18 @@ class LayoutParams:
     seed: int = 9399
     """PRNG seed (odgi-layout's default seed is 9399 for the path SGD)."""
 
-    n_threads: int = 1
-    """Simulated worker count for the Hogwild CPU baseline."""
+    simulated_threads: int = 1
+    """*Simulated* thread count for the Hogwild CPU-baseline emulation and
+    the Fig. 4 scaling *model*. This knob never spawns OS threads or
+    processes — it only widens the staleness window the single-process
+    engine emulates. Real multi-core execution is :attr:`workers`."""
+
+    workers: int = 1
+    """Real OS worker-process count for the process-parallel shared-memory
+    engine (:mod:`repro.parallel.shm`). ``1`` (the default) runs the flat
+    single-process path; ``N > 1`` puts the coordinate array in
+    ``multiprocessing.shared_memory`` and runs ``N`` hogwild workers over
+    disjoint slices of each iteration's batch plan."""
 
     batch_size: int = 65536
     """Node-pair batch size for the batched (PyTorch-style) engine."""
@@ -110,8 +121,10 @@ class LayoutParams:
             raise ValueError("zipf_theta must be positive")
         if self.zipf_space_max < 1:
             raise ValueError("zipf_space_max must be >= 1")
-        if self.n_threads < 1:
-            raise ValueError("n_threads must be >= 1")
+        if self.simulated_threads < 1:
+            raise ValueError("simulated_threads (n_threads) must be >= 1")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
         if self.batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         if self.merge_policy not in ("hogwild", "accumulate", "last_writer"):
@@ -130,8 +143,8 @@ class LayoutParams:
             raise ValueError("level_iter_split must lie strictly between 0 and 1")
 
     def with_(self, **kwargs) -> "LayoutParams":
-        """Return a copy with the given fields replaced."""
-        return replace(self, **kwargs)
+        """Return a copy with the given fields replaced (unknown names rejected)."""
+        return replace_params(self, kwargs)
 
     def steps_per_iteration(self, total_path_steps: int) -> int:
         """N_steps for a graph with ``total_path_steps`` = Σ|p| (Alg. 1 line 1)."""
@@ -140,3 +153,78 @@ class LayoutParams:
     def first_cooling_iteration(self) -> int:
         """Iteration index at which the cooling branch becomes unconditional."""
         return int(self.cooling_start * self.iter_max)
+
+
+# --------------------------------------------------------------------------
+# Deprecated ``n_threads`` alias. The old name suggested real OS threads but
+# only ever widened the *simulated* hogwild staleness window, so it was
+# renamed to ``simulated_threads`` when the real multi-core knob (``workers``)
+# landed. The alias is installed post-decoration rather than as a field so
+# that ``dataclasses.replace`` (and therefore ``with_``) round-trips without
+# re-folding the alias or re-warning on unrelated replacements.
+
+_DEPRECATION_MSG = (
+    "LayoutParams.n_threads is deprecated: the knob only drives the "
+    "*simulated* hogwild analysis and was renamed to simulated_threads "
+    "(real multi-core execution is the separate workers=N knob)"
+)
+
+_dataclass_init = LayoutParams.__init__
+
+
+def _init_with_alias(self, *args, n_threads: Optional[int] = None, **kwargs) -> None:
+    if n_threads is not None:
+        warnings.warn(_DEPRECATION_MSG, DeprecationWarning, stacklevel=2)
+        # The alias wins: dataclasses.replace() re-passes every stored field,
+        # so an explicit n_threads must override the copied simulated_threads.
+        kwargs["simulated_threads"] = n_threads
+    _dataclass_init(self, *args, **kwargs)
+
+
+_init_with_alias.__wrapped__ = _dataclass_init
+LayoutParams.__init__ = _init_with_alias
+
+
+def _n_threads_read_alias(self) -> int:
+    warnings.warn(_DEPRECATION_MSG, DeprecationWarning, stacklevel=2)
+    return self.simulated_threads
+
+
+LayoutParams.n_threads = property(_n_threads_read_alias)
+
+#: Names accepted as per-call overrides by :func:`replace_params` (and thus
+#: by ``LayoutParams.with_`` and ``layout_graph(**overrides)``): every init
+#: field plus the deprecated ``n_threads`` alias.
+PARAM_FIELD_NAMES = tuple(f.name for f in fields(LayoutParams) if f.init)
+_OVERRIDE_NAMES = frozenset(PARAM_FIELD_NAMES) | {"n_threads"}
+
+
+def replace_params(params: LayoutParams, overrides) -> LayoutParams:
+    """``dataclasses.replace`` with unknown-name rejection.
+
+    The backing of the one-knob override API (``layout_graph(g, workers=4)``,
+    ``params.with_(fused=False)``): overrides are validated against the
+    :class:`LayoutParams` field names before replacement, so a typo raises
+    ``TypeError`` naming the valid knobs instead of surfacing as an opaque
+    dataclass error.
+    """
+    overrides = dict(overrides)
+    if not overrides:
+        return params
+    unknown = sorted(set(overrides) - _OVERRIDE_NAMES)
+    if unknown:
+        raise TypeError(
+            f"unknown layout parameter(s) {', '.join(map(repr, unknown))}; "
+            f"valid names: {', '.join(PARAM_FIELD_NAMES)}")
+    if "n_threads" in overrides:
+        # Translate the deprecated alias here (one warning, right caller
+        # frame) so replace() below deals in real fields only.
+        warnings.warn(_DEPRECATION_MSG, DeprecationWarning, stacklevel=3)
+        alias = overrides.pop("n_threads")
+        if alias is not None:
+            overrides["simulated_threads"] = alias
+        if not overrides:
+            return params
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        return replace(params, **overrides)

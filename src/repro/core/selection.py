@@ -194,6 +194,31 @@ class PairSampler:
             step_positions=graph.step_positions,
         )
 
+    @classmethod
+    def from_arrays(cls, arrays: SelectionArrays, params: LayoutParams,
+                    backend: Optional[ArrayBackend] = None) -> "PairSampler":
+        """Sampler over a bare :class:`SelectionArrays` bundle — no graph.
+
+        The shared-memory workers (:mod:`repro.parallel.shm`) receive the
+        selection arrays as views into one shared segment rather than a
+        pickled :class:`LeanGraph`; this constructor rebuilds a sampler
+        around them. :meth:`sample` and :meth:`select_from_uniforms` read
+        only ``params`` and the bundle, so batches drawn here are
+        byte-identical to the graph-built sampler's. Graph-dependent extras
+        (``sample_fixed_hop``) are unavailable — ``graph``/``index`` are
+        ``None``.
+        """
+        self = cls.__new__(cls)
+        self.graph = None
+        self.index = None
+        self.params = params
+        self.backend = backend if backend is not None else get_backend(params.backend)
+        self._xp = self.backend.host_xp
+        self._offsets = arrays.path_offsets
+        self._counts = arrays.path_counts
+        self.arrays = arrays
+        return self
+
     # ------------------------------------------------------------------ API
     def sample(
         self,

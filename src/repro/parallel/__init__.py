@@ -1,10 +1,17 @@
-"""Parallel-execution substrate: Hogwild collision analysis and thread-scaling models."""
+"""Parallel-execution substrate: the process-parallel shared-memory engine,
+Hogwild collision analysis, and the thread-scaling models."""
 from .hogwild import CollisionReport, expected_collision_probability, measure_collisions
 from .scaling import (
     ThreadScalingResult,
     cpu_thread_scaling,
     chunk_schedule,
     cpu_cache_profile,
+)
+from .shm import (
+    SharedArrayBlock,
+    ShmHogwildEngine,
+    run_workers_inline,
+    worker_stream_states,
 )
 
 __all__ = [
@@ -15,4 +22,8 @@ __all__ = [
     "cpu_thread_scaling",
     "chunk_schedule",
     "cpu_cache_profile",
+    "SharedArrayBlock",
+    "ShmHogwildEngine",
+    "run_workers_inline",
+    "worker_stream_states",
 ]

@@ -1,0 +1,412 @@
+"""Process-parallel hogwild layout over POSIX shared memory.
+
+This is the *measured* realisation of the race that
+:mod:`repro.parallel.hogwild` models and the CPU-baseline engine emulates:
+the coordinate array lives in one ``multiprocessing.shared_memory`` segment,
+``params.workers`` OS processes each run the fused per-iteration path
+(:meth:`~repro.backend.base.ArrayBackend.run_iteration`) over a disjoint
+contiguous slice of the iteration's batch plan
+(:func:`~repro.core.fused.slice_plan`), and every worker scatters its merged
+deltas straight into the shared buffer — no locks, last-store-wins at the
+byte level, exactly the Hogwild! regime of the paper's CPU baseline
+(Sec. III-A) and of odgi-layout itself.
+
+Seed / stream contract
+----------------------
+Worker ``0`` draws from *the same* Xoshiro256+ streams the flat
+:class:`~repro.core.cpu_baseline.CpuBaselineEngine` would construct
+(``Xoshiro256Plus(params.seed, n_streams)``); workers ``1..W-1`` draw from
+``n_streams`` additional streams appended via
+:meth:`~repro.prng.xoshiro.Xoshiro256Plus.jump_streams`, seeded with
+``derive_seed(params.seed, "shm-workers")``. Consequences, both pinned by
+the test-suite:
+
+* ``workers=1`` runs the full plan on the base streams — **byte-identical**
+  to the flat engine (which is itself byte-identical fused vs unfused on the
+  NumPy backend);
+* ``workers=N`` draws are decorrelated across workers and fully determined
+  by ``params.seed`` — only the store interleaving is racy, never the
+  sampled terms.
+
+Shared-memory lifecycle
+-----------------------
+The parent ``create()``\\ s one segment holding the coordinate array plus the
+five :class:`~repro.core.selection.SelectionArrays` (graph data ships once,
+via the segment — never pickled per batch); workers ``attach()`` by name and
+``close()`` their mapping on exit; the parent alone ``unlink()``\\ s, inside a
+``finally`` that also terminates stragglers, so a crashed run leaves no
+segment behind. Re-registration of the same segment by every attaching
+process is harmless: the resource tracker's registry is a set, and only the
+parent ever unregisters it (via ``unlink``).
+
+Workers are long-lived — one process per worker for the whole run, fed one
+message per iteration over a pipe — so each worker's PRNG streams advance
+across iterations exactly like the flat engine's single generator does.
+"""
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import time
+from multiprocessing import shared_memory
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.base import LayoutResult
+from ..core.cpu_baseline import CpuBaselineEngine
+from ..core.fused import FusedIterationPlan, slice_plan
+from ..core.layout import Layout, initialize_layout
+from ..core.params import LayoutParams
+from ..core.selection import PairSampler, SelectionArrays
+from ..core.updates import UpdateWorkspace
+from ..prng.splitmix import derive_seed
+from ..prng.xoshiro import Xoshiro256Plus
+
+__all__ = [
+    "SharedArrayBlock",
+    "ShmHogwildEngine",
+    "worker_stream_states",
+    "run_workers_inline",
+    "resolve_start_method",
+]
+
+#: Environment variable selecting the multiprocessing start method
+#: (``fork`` / ``spawn`` / ``forkserver``). CI's parallel job sets ``spawn``
+#: to exercise the pickling seams; the default prefers ``fork`` where the
+#: platform offers it because it skips the interpreter re-import per worker.
+START_METHOD_ENV = "REPRO_SHM_START"
+
+_ALIGN = 16
+
+#: Picklable description of one packed array: (key, dtype string, shape,
+#: byte offset into the segment).
+Manifest = List[Tuple[str, str, Tuple[int, ...], int]]
+
+
+def resolve_start_method(explicit: Optional[str] = None) -> str:
+    """Start method for worker processes: explicit > env > platform default."""
+    method = explicit or os.environ.get(START_METHOD_ENV)
+    if method:
+        if method not in mp.get_all_start_methods():
+            raise ValueError(
+                f"start method {method!r} unavailable on this platform; "
+                f"choose from {mp.get_all_start_methods()}")
+        return method
+    return "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+
+
+class SharedArrayBlock:
+    """Named NumPy arrays packed into one shared-memory segment.
+
+    ``create()`` (parent) lays the arrays out back to back, 16-byte aligned,
+    and copies them in; ``attach()`` (worker) maps the same segment and
+    rebuilds zero-copy views from the picklable :data:`Manifest`. Views are
+    plain ``np.ndarray`` objects backed by the mapping, so in-place writes
+    (the hogwild scatter) are immediately visible to every process.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, manifest: Manifest,
+                 owner: bool):
+        self._shm = shm
+        self.manifest = manifest
+        self._owner = owner
+        self._views: Dict[str, np.ndarray] = {}
+        for key, dtype, shape, offset in manifest:
+            arr = np.ndarray(shape, dtype=np.dtype(dtype),
+                             buffer=shm.buf, offset=offset)
+            self._views[key] = arr
+
+    # ----------------------------------------------------------- lifecycle
+    @classmethod
+    def create(cls, arrays: Dict[str, np.ndarray]) -> "SharedArrayBlock":
+        """Allocate a segment sized for ``arrays`` and copy them in."""
+        manifest: Manifest = []
+        offset = 0
+        for key, arr in arrays.items():
+            arr = np.ascontiguousarray(arr)
+            offset = -(-offset // _ALIGN) * _ALIGN
+            manifest.append((key, arr.dtype.str, arr.shape, offset))
+            offset += arr.nbytes
+        shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+        block = cls(shm, manifest, owner=True)
+        for key, arr in arrays.items():
+            block._views[key][...] = arr
+        return block
+
+    @classmethod
+    def attach(cls, name: str, manifest: Manifest) -> "SharedArrayBlock":
+        """Map an existing segment by name (worker side)."""
+        shm = shared_memory.SharedMemory(name=name)
+        return cls(shm, manifest, owner=False)
+
+    @property
+    def name(self) -> str:
+        """OS-level segment name workers attach by."""
+        return self._shm.name
+
+    def view(self, key: str) -> np.ndarray:
+        """Zero-copy array view into the segment."""
+        return self._views[key]
+
+    def close(self) -> None:
+        """Drop this process's mapping (views become invalid)."""
+        self._views.clear()
+        self._shm.close()
+
+    def unlink(self) -> None:
+        """Remove the segment from the OS (parent only, exactly once)."""
+        if self._owner:
+            self._shm.unlink()
+            self._owner = False
+
+
+def worker_stream_states(base: Xoshiro256Plus, workers: int,
+                         seed: int) -> List[np.ndarray]:
+    """Per-worker Xoshiro256+ state blocks under the shm seed contract.
+
+    Worker 0 receives ``base``'s streams verbatim (the flat engine's
+    generator — this is what makes ``workers=1`` byte-identical); each
+    further worker receives ``base.n_streams`` decorrelated streams appended
+    via ``jump_streams`` under the stable sub-seed
+    ``derive_seed(seed, "shm-workers")``.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if workers == 1:
+        return [base.state.copy()]
+    n = base.n_streams
+    jumped = base.jump_streams(n * (workers - 1),
+                               seed=derive_seed(seed, "shm-workers"))
+    return [jumped.state[w * n:(w + 1) * n].copy() for w in range(workers)]
+
+
+def _selection_arrays_payload(arrays: SelectionArrays) -> Dict[str, np.ndarray]:
+    return {f"sel/{field}": np.asarray(getattr(arrays, field))
+            for field in SelectionArrays._fields}
+
+
+def _worker_main(worker_id: int, shm_name: str, manifest: Manifest,
+                 params: LayoutParams, sub_plan: List[int],
+                 stream_state: np.ndarray, conn) -> None:
+    """Worker loop: attach, rebuild the sampler, run fused sub-iterations.
+
+    Runs in a child process (module-level so ``spawn`` can pickle it by
+    reference). The graph never crosses the pickle boundary — selection
+    arrays are views into the shared segment; only params, the sub-plan and
+    a ``(n_streams, 4)`` PRNG state ride along in the spawn args.
+    """
+    from ..backend import get_backend
+
+    block = SharedArrayBlock.attach(shm_name, manifest)
+    try:
+        backend = get_backend(params.backend)
+        coords = block.view("coords")
+        arrays = SelectionArrays(
+            *(block.view(f"sel/{field}") for field in SelectionArrays._fields))
+        sampler = PairSampler.from_arrays(arrays, params, backend)
+        rng = Xoshiro256Plus(stream_state)
+        workspace = UpdateWorkspace(max(sub_plan), backend=backend)
+        plan = FusedIterationPlan(sampler=sampler, workspace=workspace,
+                                  merge=params.merge_policy, plan=sub_plan,
+                                  n_streams=rng.n_streams)
+        conn.send(("ready", worker_id))
+        while True:
+            msg = conn.recv()
+            if msg[0] == "stop":
+                break
+            _, iteration, eta = msg
+            block_draws = rng.next_double_block(plan.calls_per_iteration)
+            stats = backend.run_iteration(plan, coords, block_draws, eta,
+                                          iteration)
+            conn.send((stats.n_terms, stats.n_point_collisions))
+    finally:
+        conn.close()
+        block.close()
+
+
+class ShmHogwildEngine(CpuBaselineEngine):
+    """Real multi-process hogwild over a shared coordinate buffer.
+
+    Subclasses :class:`CpuBaselineEngine` so the batch plan and the PRNG
+    stream count are *exactly* the flat engine's — the parallel engine is a
+    partition of the flat engine's work, not a different workload. The
+    iteration loop is replaced wholesale: per iteration the parent sends the
+    scheduled learning rate to every worker, the workers race their fused
+    sub-plans into the shared buffer, and the parent collects the per-worker
+    term/collision counts. Iteration boundaries are synchronised (the eta
+    schedule must advance globally); stores within an iteration are not.
+
+    Requires a host-resident backend (the shared mapping *is* the coordinate
+    state) that advertises the fused iteration path.
+    """
+
+    name = "shm-hogwild"
+
+    def __init__(self, graph, params: Optional[LayoutParams] = None,
+                 hogwild_round: int = 64, start_method: Optional[str] = None):
+        super().__init__(graph, params, hogwild_round=hogwild_round)
+        self.start_method = resolve_start_method(start_method)
+        probe = np.zeros(1)
+        if self.backend.from_host(probe) is not probe:
+            raise ValueError(
+                f"backend {self.backend.name!r} is not host-resident; the "
+                "shared-memory engine needs coordinates mapped in host RAM")
+        if not getattr(self.backend, "supports_fused_iteration", False):
+            raise ValueError(
+                f"backend {self.backend.name!r} does not advertise the fused "
+                "iteration path the shm workers execute")
+
+    # ------------------------------------------------------------- helpers
+    def _worker_setup(self, layout: Layout):
+        """Sub-plans, per-worker PRNG states and the shared block for a run."""
+        steps_per_iter = self.params.steps_per_iteration(self.graph.total_steps)
+        plan = self.batch_plan(steps_per_iter)
+        sub_plans = slice_plan(plan, self.params.workers)
+        states = worker_stream_states(self.make_rng(), len(sub_plans),
+                                      self.params.seed)
+        payload = {"coords": layout.coords}
+        payload.update(_selection_arrays_payload(self.sampler.arrays))
+        block = SharedArrayBlock.create(payload)
+        return sub_plans, states, block
+
+    # ------------------------------------------------------------------ run
+    def run(self, initial: Optional[Layout] = None) -> LayoutResult:
+        t_start = time.perf_counter()
+        params = self.params
+        layout = (initial.copy() if initial is not None
+                  else initialize_layout(self.graph, seed=params.seed,
+                                         data_layout=self.data_layout()))
+        sub_plans, states, block = self._worker_setup(layout)
+        n_workers = len(sub_plans)
+        ctx = mp.get_context(self.start_method)
+        procs: List = []
+        conns: List = []
+        total_terms = 0
+        try:
+            for w, (sub_plan, state) in enumerate(zip(sub_plans, states)):
+                parent_conn, child_conn = ctx.Pipe()
+                proc = ctx.Process(
+                    target=_worker_main,
+                    args=(w, block.name, block.manifest, params, sub_plan,
+                          state, child_conn),
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                procs.append(proc)
+                conns.append(parent_conn)
+            for conn in conns:
+                msg = conn.recv()
+                assert msg[0] == "ready"
+            t_ready = time.perf_counter()
+            self.add_counter("parallel_setup_s", t_ready - t_start)
+            for iteration in range(params.iter_max):
+                eta = float(self.schedule[iteration])
+                for conn in conns:
+                    conn.send(("iter", iteration, eta))
+                n_collisions = 0
+                n_terms_iter = 0
+                for conn in conns:
+                    terms, collisions = conn.recv()
+                    n_terms_iter += terms
+                    n_collisions += collisions
+                total_terms += n_terms_iter
+                self.add_counter("point_collisions", float(n_collisions))
+                self.add_counter("update_dispatches", float(n_workers))
+            self.add_counter("parallel_iterate_s",
+                             time.perf_counter() - t_ready)
+            for conn in conns:
+                conn.send(("stop",))
+            for proc in procs:
+                proc.join(timeout=30.0)
+            # Read back the raced coordinates before the mapping goes away.
+            layout.coords[...] = block.view("coords")
+        finally:
+            for conn in conns:
+                conn.close()
+            for proc in procs:
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join(timeout=5.0)
+            block.close()
+            block.unlink()
+        self.add_counter("fused_iterations", float(params.iter_max))
+        self.add_counter("effective_workers", float(n_workers))
+        return LayoutResult(
+            layout=layout,
+            params=params,
+            engine=self.name,
+            iterations=params.iter_max,
+            total_terms=total_terms,
+            counters=dict(self._counters),
+            wall_time_s=time.perf_counter() - t_start,
+        )
+
+    # ------------------------------------------------------------- inline
+    def run_inline(self, initial: Optional[Layout] = None) -> LayoutResult:
+        """The worker decomposition executed sequentially in-process.
+
+        Runs every worker's fused sub-plan with its contractual PRNG streams,
+        workers in index order within each iteration — one *valid*
+        serialisation of the hogwild race, with no processes and therefore
+        fully deterministic. Property tests quantify the worker
+        decomposition against the serial layout through this path without
+        inheriting scheduler noise; it is also the natural fallback on
+        single-core boxes.
+        """
+        t_start = time.perf_counter()
+        params = self.params
+        layout = (initial.copy() if initial is not None
+                  else initialize_layout(self.graph, seed=params.seed,
+                                         data_layout=self.data_layout()))
+        steps_per_iter = params.steps_per_iteration(self.graph.total_steps)
+        plan = self.batch_plan(steps_per_iter)
+        sub_plans = slice_plan(plan, params.workers)
+        states = worker_stream_states(self.make_rng(), len(sub_plans),
+                                      params.seed)
+        coords = self.backend.from_host(layout.coords)
+        rngs = [Xoshiro256Plus(state) for state in states]
+        plans = [
+            FusedIterationPlan(sampler=self.sampler,
+                               workspace=UpdateWorkspace(max(sub_plan),
+                                                         backend=self.backend),
+                               merge=params.merge_policy, plan=sub_plan,
+                               n_streams=rng.n_streams)
+            for sub_plan, rng in zip(sub_plans, rngs)
+        ]
+        total_terms = 0
+        for iteration in range(params.iter_max):
+            eta = float(self.schedule[iteration])
+            n_collisions = 0
+            for rng, fused_plan in zip(rngs, plans):
+                block = rng.next_double_block(fused_plan.calls_per_iteration)
+                stats = self.backend.run_iteration(fused_plan, coords, block,
+                                                   eta, iteration)
+                total_terms += stats.n_terms
+                n_collisions += stats.n_point_collisions
+            self.add_counter("point_collisions", float(n_collisions))
+            self.add_counter("update_dispatches", float(len(plans)))
+        self.add_counter("fused_iterations", float(params.iter_max))
+        self.add_counter("effective_workers", float(len(sub_plans)))
+        return LayoutResult(
+            layout=layout,
+            params=params,
+            engine=f"{self.name}-inline",
+            iterations=params.iter_max,
+            total_terms=total_terms,
+            counters=dict(self._counters),
+            wall_time_s=time.perf_counter() - t_start,
+        )
+
+
+def run_workers_inline(graph, params: Optional[LayoutParams] = None,
+                       hogwild_round: int = 64,
+                       initial: Optional[Layout] = None) -> LayoutResult:
+    """Deterministic in-process execution of the worker decomposition.
+
+    Convenience wrapper over :meth:`ShmHogwildEngine.run_inline` — see its
+    docstring for the interleaving semantics.
+    """
+    engine = ShmHogwildEngine(graph, params, hogwild_round=hogwild_round)
+    return engine.run_inline(initial=initial)

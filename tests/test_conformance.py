@@ -111,7 +111,7 @@ def _serial_degenerate_engine(kind: str, graph, params: LayoutParams):
 def _default_engine(kind: str, graph, params: LayoutParams):
     """The engine in its stock batched configuration (real merge collisions)."""
     if kind == "cpu":
-        return CpuBaselineEngine(graph, params.with_(n_threads=4))
+        return CpuBaselineEngine(graph, params.with_(simulated_threads=4))
     if kind == "batch":
         return BatchedLayoutEngine(graph, params.with_(batch_size=64))
     if kind == "gpu":
@@ -173,7 +173,8 @@ class TestMultilevelConformance:
         _backend_or_skip(backend_name)
         # Realistic batched configuration (same knobs _default_engine turns),
         # expressed through params so driver and flat engine see one config.
-        params = _params(merge, backend_name).with_(n_threads=4, batch_size=64)
+        params = _params(merge, backend_name).with_(simulated_threads=4,
+                                                    batch_size=64)
         flat = make_engine(conf_graph, engine_kind, params).run()
         driver = MultilevelDriver(conf_graph, params, engine=engine_kind)
         multi = driver.run()
@@ -230,6 +231,55 @@ class TestFusedConformance:
         else:
             # ...while hook-overriding engines are required to fall back.
             assert fused.counters["fused_iterations"] == 0.0
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+@pytest.mark.parametrize("merge", MERGES)
+class TestShmConformance:
+    """Process-parallel axis: one shm worker must not move any layout.
+
+    ``ShmHogwildEngine(workers=1)`` runs the flat engine's full batch plan
+    on the flat engine's PRNG streams inside a real worker process over a
+    real shared-memory mapping; the contract is *byte*-identity with the
+    flat engine for every merge policy on every host-resident backend —
+    the process machinery is pure plumbing, never arithmetic. The
+    deterministic in-process serialisation of the multi-worker race
+    (``run_inline``) must conserve the term budget and reproduce itself.
+    """
+
+    @staticmethod
+    def _host_backend_or_skip(backend_name: str):
+        be = _backend_or_skip(backend_name)
+        probe = np.zeros(1)
+        if be.from_host(probe) is not probe:
+            pytest.skip(f"backend {backend_name!r} is not host-resident; "
+                        "the shm engine needs host-mapped coordinates")
+        return be
+
+    def test_workers1_byte_identical_to_flat_engine(self, conf_graph, merge,
+                                                    backend_name):
+        from repro.parallel.shm import ShmHogwildEngine
+
+        self._host_backend_or_skip(backend_name)
+        params = _params(merge, backend_name).with_(simulated_threads=4)
+        flat = CpuBaselineEngine(conf_graph, params).run()
+        shm = ShmHogwildEngine(conf_graph, params.with_(workers=1)).run()
+        assert shm.total_terms == flat.total_terms
+        np.testing.assert_array_equal(shm.layout.coords, flat.layout.coords)
+
+    def test_inline_two_workers_deterministic(self, conf_graph, merge,
+                                              backend_name):
+        from repro.parallel.shm import run_workers_inline
+
+        self._host_backend_or_skip(backend_name)
+        params = _params(merge, backend_name).with_(simulated_threads=4,
+                                                    workers=2)
+        flat = CpuBaselineEngine(conf_graph, params).run()
+        a = run_workers_inline(conf_graph, params)
+        b = run_workers_inline(conf_graph, params)
+        assert a.total_terms == flat.total_terms
+        assert np.all(np.isfinite(a.layout.coords))
+        np.testing.assert_array_equal(a.layout.coords, b.layout.coords)
 
 
 @pytest.mark.parametrize("backend_name", BACKENDS)

@@ -49,7 +49,8 @@ class TestParams:
         {"cooling_start": 1.5},
         {"zipf_theta": -1},
         {"zipf_space_max": 0},
-        {"n_threads": 0},
+        {"simulated_threads": 0},
+        {"workers": 0},
         {"batch_size": 0},
     ])
     def test_invalid_params(self, kwargs):

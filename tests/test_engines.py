@@ -11,7 +11,6 @@ from repro.core import (
     LayoutParams,
     OptimizedGpuEngine,
     SerialReferenceEngine,
-    initialize_layout,
     layout_graph,
     make_engine,
 )
@@ -125,7 +124,8 @@ class TestLayoutRuns:
 
 class TestCpuBaselineDetails:
     def test_batch_plan_covers_all_steps(self, small_synthetic, fast_params):
-        engine = CpuBaselineEngine(small_synthetic, fast_params.with_(n_threads=4),
+        engine = CpuBaselineEngine(small_synthetic,
+                                   fast_params.with_(simulated_threads=4),
                                    hogwild_round=16)
         steps = fast_params.steps_per_iteration(small_synthetic.total_steps)
         plan = engine.batch_plan(steps)
