@@ -1,0 +1,164 @@
+"""Small AST helpers shared by the contract checkers.
+
+Everything here is purely syntactic: the analyzer never imports the code it
+inspects, so judgements are made from names, import aliases and structure
+alone. That keeps the pass safe to run on any tree (including broken ones —
+parse failures surface as findings, not crashes) at the cost of provable
+precision; the per-line pragma escape hatch covers what syntax cannot.
+"""
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "dotted_name",
+    "import_aliases",
+    "qualified_call_name",
+    "call_contains_name",
+    "function_defs",
+    "param_names",
+    "loop_bodies",
+    "fstring_template",
+]
+
+
+def dotted_name(expr: ast.AST) -> Optional[str]:
+    """``'np.random.default_rng'`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    node = expr
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def import_aliases(tree: ast.AST) -> Dict[str, str]:
+    """Map of local name -> dotted origin for every import in ``tree``.
+
+    ``import numpy as np`` yields ``{"np": "numpy"}``; ``from datetime
+    import datetime`` yields ``{"datetime": "datetime.datetime"}``. Relative
+    imports keep their leading dots, so they can never collide with the
+    absolute stdlib/numpy prefixes the checkers match against.
+    """
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for a in node.names:
+                if a.asname:
+                    aliases[a.asname] = a.name
+                else:
+                    # ``import a.b`` binds ``a``.
+                    root = a.name.split(".")[0]
+                    aliases[root] = root
+        elif isinstance(node, ast.ImportFrom):
+            prefix = "." * node.level + (node.module or "")
+            for a in node.names:
+                if a.name == "*":
+                    continue
+                aliases[a.asname or a.name] = f"{prefix}.{a.name}" if prefix else a.name
+    return aliases
+
+
+def qualified_call_name(func: ast.AST, aliases: Dict[str, str]) -> Optional[str]:
+    """Resolve a call's dotted target through the file's import aliases.
+
+    ``np.random.default_rng`` with ``{"np": "numpy"}`` resolves to
+    ``"numpy.random.default_rng"``. Unresolvable roots (locals, attributes
+    of non-Name values) return the literal dotted text when available, so
+    callers can still match bare names like ``derive_seed``.
+    """
+    dotted = dotted_name(func)
+    if dotted is None:
+        return None
+    root, _, rest = dotted.partition(".")
+    origin = aliases.get(root)
+    if origin is None:
+        return dotted
+    return f"{origin}.{rest}" if rest else origin
+
+
+def call_contains_name(call: ast.Call, name: str) -> bool:
+    """True when any argument expression of ``call`` calls ``name``.
+
+    The syntactic ``provably seeded`` test: an entropy call whose argument
+    derives via ``derive_seed(...)`` (directly or nested) is exempt.
+    """
+    for arg in list(call.args) + [kw.value for kw in call.keywords]:
+        for node in ast.walk(arg):
+            if isinstance(node, ast.Call):
+                target = dotted_name(node.func)
+                if target is not None and target.split(".")[-1] == name:
+                    return True
+    return False
+
+
+def function_defs(tree: ast.AST) -> Iterator[Tuple[ast.AST, Optional[str]]]:
+    """Every function definition paired with its enclosing class name."""
+    class _Visitor(ast.NodeVisitor):
+        def __init__(self) -> None:
+            self.found: List[Tuple[ast.AST, Optional[str]]] = []
+            self._class: Optional[str] = None
+
+        def visit_ClassDef(self, node: ast.ClassDef) -> None:
+            outer, self._class = self._class, node.name
+            self.generic_visit(node)
+            self._class = outer
+
+        def _visit_func(self, node: ast.AST) -> None:
+            self.found.append((node, self._class))
+            self.generic_visit(node)
+
+        visit_FunctionDef = _visit_func
+        visit_AsyncFunctionDef = _visit_func
+
+    visitor = _Visitor()
+    visitor.visit(tree)
+    return iter(visitor.found)
+
+
+def param_names(func: ast.AST) -> List[str]:
+    """All parameter names of a function definition."""
+    a = func.args
+    params = list(a.posonlyargs) + list(a.args) + list(a.kwonlyargs)
+    if a.vararg:
+        params.append(a.vararg)
+    if a.kwarg:
+        params.append(a.kwarg)
+    return [p.arg for p in params]
+
+
+def loop_bodies(region: ast.AST) -> Iterator[ast.AST]:
+    """Every statement nested inside a ``for``/``while`` body of ``region``.
+
+    Nested loops are not double-reported: each statement is yielded once,
+    from the outermost loop that contains it.
+    """
+    seen = set()
+    for node in ast.walk(region):
+        if isinstance(node, (ast.For, ast.AsyncFor, ast.While)):
+            for stmt in node.body + node.orelse:
+                for sub in ast.walk(stmt):
+                    key = id(sub)
+                    if key not in seen:
+                        seen.add(key)
+                        yield sub
+
+
+def fstring_template(node: ast.JoinedStr) -> str:
+    """Collapse an f-string into a template: ``f"lvl{i}"`` -> ``"lvl{}"``.
+
+    Used by the seed-label uniqueness check: two f-string labels with the
+    same template alias the same stream family, which is exactly as bad as
+    two identical literals.
+    """
+    parts: List[str] = []
+    for value in node.values:
+        if isinstance(value, ast.Constant):
+            parts.append(str(value.value))
+        else:
+            parts.append("{}")
+    return "".join(parts)

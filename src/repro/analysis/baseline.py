@@ -1,0 +1,129 @@
+"""Committed suppression baseline for grandfathered findings.
+
+The baseline is a small JSON document listing findings that are known,
+accepted and *temporarily* exempt — the ratchet mechanism that lets the
+linter land strict on a tree with pre-existing violations, then tighten as
+they are fixed. Entries match findings structurally (rule + path + the
+stripped source line), never by line number, so unrelated edits above a
+grandfathered site do not invalidate it.
+
+Entries *expire*: a baseline entry that matches no current finding is
+reported as stale, and ``--strict`` (the CI configuration) fails on stale
+entries so the file can only shrink honestly. The committed baseline
+(``tools/analysis_baseline.json``) is empty — every legitimate site carries
+an explanatory pragma instead.
+"""
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from .registry import AnalysisError, Finding
+
+__all__ = ["BaselineEntry", "Baseline", "BASELINE_VERSION", "DEFAULT_BASELINE_PATH"]
+
+BASELINE_VERSION = 1
+
+#: Where ``repro analyze`` looks for the committed baseline by default.
+DEFAULT_BASELINE_PATH = "tools/analysis_baseline.json"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered finding, matched by structure rather than line."""
+
+    rule: str
+    path: str
+    snippet: str
+
+    def key(self) -> Tuple[str, str, str]:
+        return (self.rule, self.path, self.snippet)
+
+    def to_dict(self) -> Dict[str, str]:
+        return {"rule": self.rule, "path": self.path, "snippet": self.snippet}
+
+
+class Baseline:
+    """A loaded suppression baseline."""
+
+    def __init__(self, entries: List[BaselineEntry], path: str = ""):
+        self.entries = entries
+        self.path = path
+
+    # ------------------------------------------------------------------- io
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        try:
+            doc = json.loads(Path(path).read_text(encoding="utf-8"))
+        except OSError as exc:
+            raise AnalysisError(f"cannot read baseline {path!r}: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise AnalysisError(f"baseline {path!r} is not valid JSON: {exc}") from exc
+        if not isinstance(doc, dict) or "entries" not in doc:
+            raise AnalysisError(
+                f"baseline {path!r} must be an object with an 'entries' list")
+        version = doc.get("version", BASELINE_VERSION)
+        if version != BASELINE_VERSION:
+            raise AnalysisError(
+                f"baseline {path!r} has schema version {version}, "
+                f"this build reads version {BASELINE_VERSION}")
+        entries = []
+        for i, raw in enumerate(doc["entries"]):
+            try:
+                entries.append(BaselineEntry(rule=raw["rule"], path=raw["path"],
+                                             snippet=raw["snippet"]))
+            except (KeyError, TypeError) as exc:
+                raise AnalysisError(
+                    f"baseline {path!r} entry {i} is malformed: {exc}") from exc
+        return cls(entries, path=path)
+
+    @classmethod
+    def from_findings(cls, findings: List[Finding]) -> "Baseline":
+        seen = set()
+        entries = []
+        for f in findings:
+            entry = BaselineEntry(rule=f.rule, path=f.path, snippet=f.snippet)
+            if entry.key() not in seen:
+                seen.add(entry.key())
+                entries.append(entry)
+        return cls(entries)
+
+    def save(self, path: str) -> None:
+        doc = {
+            "version": BASELINE_VERSION,
+            "comment": ("Grandfathered findings exempt from 'repro analyze'. "
+                        "Entries expire when the finding disappears; prefer "
+                        "fixing sites (or pragma-annotating legitimate ones) "
+                        "over adding entries."),
+            "entries": [e.to_dict() for e in sorted(self.entries,
+                                                    key=BaselineEntry.key)],
+        }
+        Path(path).write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+
+    # ------------------------------------------------------------- matching
+    def apply(self, findings: List[Finding]
+              ) -> Tuple[List[Finding], List[Finding], List[BaselineEntry]]:
+        """Split findings into (kept, suppressed); also return stale entries.
+
+        An entry suppresses *every* finding sharing its (rule, path,
+        snippet) key — a line duplicated verbatim in one file is one
+        grandfathered pattern, not N. Entries matching nothing are stale.
+        """
+        keys = {e.key(): e for e in self.entries}
+        matched = set()
+        kept: List[Finding] = []
+        suppressed: List[Finding] = []
+        for f in findings:
+            key = (f.rule, f.path, f.snippet)
+            if key in keys:
+                matched.add(key)
+                suppressed.append(f)
+            else:
+                kept.append(f)
+        stale = [e for e in self.entries if e.key() not in matched]
+        return kept, suppressed, stale
+
+    def __len__(self) -> int:
+        return len(self.entries)

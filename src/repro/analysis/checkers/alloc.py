@@ -1,0 +1,102 @@
+"""ALLOC001 — the zero-alloc hot-loop contract (PR 2).
+
+The update inner loop is memory-bound: per-batch allocation of staging
+arrays was the 7× regression PR 2 removed, and the per-run
+:class:`~repro.core.updates.UpdateWorkspace` exists precisely so the loop
+never allocates in steady state. This pass flags array-allocating calls
+(``zeros``, ``empty``, ``unique``, ``concatenate``, ``.copy()``, …) inside
+``for``/``while`` bodies of the scoped hot-loop code:
+
+* the whole of ``core/updates.py`` and ``core/fused.py``;
+* engine run paths — functions named ``run`` / ``run_inline`` /
+  ``run_fixed_hop`` / ``run_iteration`` / ``run_iteration_host`` /
+  ``_worker_main`` — in any hot-path directory.
+
+Deliberate in-loop allocation (a grow-on-demand path, a once-per-run
+setup loop) is annotated ``# alloc-ok: <reason>``. Severity is
+``warning``: an allocation is a perf smell, not a correctness bug, but CI
+runs ``--strict`` so it gates all the same.
+"""
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from ..astutil import dotted_name, loop_bodies
+from ..registry import Finding, checker
+from ..source import SourceFile
+
+__all__ = ["check_alloc001"]
+
+#: Call names that allocate a fresh array wherever they appear. Matched as
+#: the final attribute (``xp.zeros``, ``be.empty``, ``arr.copy``) or a bare
+#: name (``from numpy import zeros``). ``reshape``/``asarray`` are excluded
+#: — usually views/no-ops — so the rule stays low-noise; fancy-index copies
+#: are likewise syntactically indistinguishable from scalar indexing and
+#: are left to review.
+ALLOC_CALLS = {
+    "zeros", "ones", "empty", "full",
+    "zeros_like", "ones_like", "empty_like", "full_like",
+    "unique", "concatenate", "stack", "vstack", "hstack", "column_stack",
+    "dstack", "tile", "repeat", "copy", "array", "arange", "linspace",
+}
+
+#: (parent directory, file name) pairs scoped in their entirety.
+HOT_LOOP_FILES = {("core", "updates.py"), ("core", "fused.py")}
+
+#: Function names treated as engine run paths inside hot-path directories.
+RUN_PATH_FUNCS = {"run", "run_inline", "run_fixed_hop", "run_iteration",
+                  "run_iteration_host", "_worker_main"}
+
+
+def _is_hot_loop_file(src: SourceFile) -> bool:
+    parts = src.parts
+    return len(parts) >= 2 and (parts[-2], parts[-1]) in HOT_LOOP_FILES
+
+
+def _alloc_name(call: ast.Call) -> str:
+    if isinstance(call.func, ast.Attribute) and call.func.attr in ALLOC_CALLS:
+        return dotted_name(call.func) or call.func.attr
+    if isinstance(call.func, ast.Name) and call.func.id in ALLOC_CALLS:
+        return call.func.id
+    return ""
+
+
+def _scan_region(src: SourceFile, region: ast.AST,
+                 where: str) -> List[Finding]:
+    out: List[Finding] = []
+    seen = set()
+    for node in loop_bodies(region):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _alloc_name(node)
+        if not name:
+            continue
+        key = (node.lineno, node.col_offset)
+        if key in seen:
+            continue
+        seen.add(key)
+        out.append(Finding(
+            rule="ALLOC001", path=src.rel, line=node.lineno,
+            col=node.col_offset, severity="warning",
+            message=(f"array allocation '{name}()' inside a {where} loop "
+                     "body — the update hot path must stay allocation-free "
+                     "(hoist into the per-run UpdateWorkspace) or justify "
+                     "with '# alloc-ok: <reason>'"),
+            snippet=src.snippet(node.lineno)))
+    return out
+
+
+@checker("ALLOC001", pragma="alloc-ok", severity="warning", scope="file")
+def check_alloc001(src: SourceFile) -> List[Finding]:
+    """Array allocation inside hot-loop ``for``/``while`` bodies."""
+    if _is_hot_loop_file(src):
+        return _scan_region(src, src.tree, "hot-path")
+    if not src.in_hot_path_dir():
+        return []
+    out: List[Finding] = []
+    for node in ast.walk(src.tree):
+        if (isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node.name in RUN_PATH_FUNCS):
+            out.extend(_scan_region(src, node, f"'{node.name}' run-path"))
+    return out

@@ -1,0 +1,156 @@
+"""DET001/DET002 — the seeded-randomness contract.
+
+Every stochastic choice in this codebase must derive from the master seed
+(``params.seed`` / the bench master seed) via
+:func:`repro.prng.splitmix.derive_seed` with a stable label — that is what
+makes two runs of the same commit byte-identical, what the smoke
+baseline's ``--repeats 2`` determinism check enforces at runtime, and what
+this pass enforces in the diff itself.
+
+* **DET001** bans ambient entropy sources (``np.random.*``, the stdlib
+  ``random`` module, ``os.urandom``, ``secrets``, ``uuid1/uuid4``,
+  ``datetime.now``) everywhere under analysis, and wall-clock reads
+  (``time.perf_counter`` & friends) inside the hot-path directories
+  (``core/``, ``backend/``, ``multilevel/``, ``parallel/``, ``prng/``),
+  where a timestamp feeding any computation would break reproducibility.
+  A call whose argument derives via ``derive_seed(...)`` is provably
+  seeded and exempt; everything else needs ``# det-ok: <reason>``.
+* **DET002** requires every ``derive_seed(seed, "<label>")`` string
+  literal (and every f-string *template*) to be unique codebase-wide:
+  duplicate labels alias PRNG stream families, the silent failure mode of
+  label-derived seeding.
+"""
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Tuple
+
+from ..astutil import (call_contains_name, dotted_name, fstring_template,
+                       qualified_call_name)
+from ..registry import Finding, checker
+from ..source import SourceFile
+
+__all__ = ["check_det001", "check_det002"]
+
+#: Entropy call targets banned in every analysed file (prefix match on the
+#: resolved qualified name).
+ENTROPY_PREFIXES = (
+    "numpy.random.",
+    "random.",
+    "secrets.",
+)
+
+#: Entropy call targets banned in every analysed file (exact match).
+ENTROPY_EXACT = {
+    "os.urandom",
+    "uuid.uuid1",
+    "uuid.uuid4",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.date.today",
+}
+
+#: Wall-clock reads banned inside the hot-path directories only — the bench
+#: subsystem times things for a living, but a clock read in ``core/`` &co.
+#: is either dead code or a determinism leak unless justified.
+WALLCLOCK_EXACT = {
+    "time.time",
+    "time.time_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.process_time",
+    "time.process_time_ns",
+}
+
+
+def _entropy_kind(qual: str) -> str:
+    if qual in ENTROPY_EXACT or any(qual.startswith(p) for p in ENTROPY_PREFIXES):
+        return "entropy"
+    if qual in WALLCLOCK_EXACT:
+        return "wallclock"
+    return ""
+
+
+@checker("DET001", pragma="det-ok", severity="error", scope="file")
+def check_det001(src: SourceFile) -> List[Finding]:
+    """Ambient entropy / wall-clock calls outside the master-seed contract."""
+    out: List[Finding] = []
+    for node in ast.walk(src.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        qual = qualified_call_name(node.func, src.aliases)
+        if qual is None:
+            continue
+        kind = _entropy_kind(qual)
+        if kind == "entropy":
+            if call_contains_name(node, "derive_seed"):
+                continue  # provably derived from the master seed
+            shown = dotted_name(node.func) or qual
+            out.append(Finding(
+                rule="DET001", path=src.rel, line=node.lineno,
+                col=node.col_offset, severity="error",
+                message=(f"entropy source '{shown}()' — every draw must "
+                         "derive from the master seed via derive_seed(seed, "
+                         "label); seed the call from derive_seed(...) or "
+                         "justify it with '# det-ok: <reason>'"),
+                snippet=src.snippet(node.lineno)))
+        elif kind == "wallclock" and src.in_hot_path_dir():
+            shown = dotted_name(node.func) or qual
+            out.append(Finding(
+                rule="DET001", path=src.rel, line=node.lineno,
+                col=node.col_offset, severity="error",
+                message=(f"wall-clock read '{shown}()' in a hot-path module "
+                         "— timestamps must never feed layout computation; "
+                         "reporting-only timing needs '# det-ok: <reason>'"),
+                snippet=src.snippet(node.lineno)))
+    return out
+
+
+def _seed_labels(src: SourceFile) -> List[Tuple[str, str, int, int]]:
+    """(label, kind, line, col) for every literal/f-string derive_seed label."""
+    out = []
+    for node in ast.walk(src.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        target = dotted_name(node.func)
+        if target is None or target.split(".")[-1] != "derive_seed":
+            continue
+        if len(node.args) < 2:
+            continue
+        label_arg = node.args[1]
+        if isinstance(label_arg, ast.Constant) and isinstance(label_arg.value, str):
+            out.append((label_arg.value, "literal", node.lineno,
+                        node.col_offset))
+        elif isinstance(label_arg, ast.JoinedStr):
+            out.append((fstring_template(label_arg), "f-string template",
+                        node.lineno, node.col_offset))
+        # Runtime-variable labels cannot be judged statically; the runner's
+        # --repeats determinism check remains the backstop for those.
+    return out
+
+
+@checker("DET002", pragma="det-ok", severity="error", scope="project")
+def check_det002(sources: List[SourceFile]) -> List[Finding]:
+    """Duplicate derive_seed labels — aliased PRNG stream families."""
+    sites: Dict[str, List[Tuple[SourceFile, str, int, int]]] = {}
+    for src in sources:
+        for label, kind, line, col in _seed_labels(src):
+            sites.setdefault(label, []).append((src, kind, line, col))
+    out: List[Finding] = []
+    for label, where in sorted(sites.items()):
+        if len(where) < 2:
+            continue
+        first = where[0]
+        first_loc = f"{first[0].rel}:{first[2]}"
+        for src, kind, line, col in where[1:]:
+            out.append(Finding(
+                rule="DET002", path=src.rel, line=line, col=col,
+                severity="error",
+                message=(f"derive_seed {kind} label {label!r} duplicates "
+                         f"{first_loc} — duplicate labels alias PRNG "
+                         "streams; every seed-derivation site needs a "
+                         "unique label"),
+                snippet=src.snippet(line)))
+    return out

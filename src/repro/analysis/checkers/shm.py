@@ -1,0 +1,90 @@
+"""SHM001 — the shared-memory lifecycle contract (PR 6).
+
+:class:`~repro.parallel.shm.SharedArrayBlock` has a strict ownership
+discipline: the *parent* ``create()``\\ s the segment and must ``unlink()``
+it exactly once inside a ``finally`` (so crashed runs leak no segments);
+*workers* ``attach()`` by name and may only ever ``close()`` their mapping
+— a worker unlinking would tear the segment out from under its siblings.
+
+Statically enforced per function:
+
+* a function calling ``SharedArrayBlock.create(...)`` must contain a
+  ``try``/``finally`` whose ``finally`` calls ``.unlink()`` — unless the
+  created block's ownership provably moves elsewhere, which is what
+  ``# shm-ok: <reason>`` documents;
+* a function calling ``SharedArrayBlock.attach(...)`` must not call
+  ``.unlink()`` at all.
+"""
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from ..astutil import function_defs
+from ..registry import Finding, checker
+from ..source import SourceFile
+
+__all__ = ["check_shm001"]
+
+BLOCK_CLASS = "SharedArrayBlock"
+
+
+def _classmethod_call(node: ast.AST, method: str) -> bool:
+    """True for ``SharedArrayBlock.<method>(...)`` call expressions."""
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == method
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == BLOCK_CLASS)
+
+
+def _unlink_calls(region: ast.AST) -> List[ast.Call]:
+    return [node for node in ast.walk(region)
+            if isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "unlink"]
+
+
+def _has_finally_unlink(func: ast.AST) -> bool:
+    for node in ast.walk(func):
+        if isinstance(node, ast.Try) and node.finalbody:
+            for stmt in node.finalbody:
+                if _unlink_calls(stmt):
+                    return True
+    return False
+
+
+@checker("SHM001", pragma="shm-ok", severity="error", scope="file")
+def check_shm001(src: SourceFile) -> List[Finding]:
+    """Create/attach/close/unlink discipline for SharedArrayBlock."""
+    out: List[Finding] = []
+    for func, _cls in function_defs(src.tree):
+        creates: List[ast.Call] = []
+        attaches: List[ast.Call] = []
+        for node in ast.walk(func):
+            if _classmethod_call(node, "create"):
+                creates.append(node)
+            elif _classmethod_call(node, "attach"):
+                attaches.append(node)
+        if creates and not _has_finally_unlink(func):
+            for call in creates:
+                out.append(Finding(
+                    rule="SHM001", path=src.rel, line=call.lineno,
+                    col=call.col_offset, severity="error",
+                    message=(f"'{func.name}' calls {BLOCK_CLASS}.create() "
+                             "without unlink() in a finally — the creating "
+                             "parent must unlink exactly once however the "
+                             "run exits; if ownership transfers to the "
+                             "caller, document it with '# shm-ok: <reason>'"),
+                    snippet=src.snippet(call.lineno)))
+        if attaches:
+            for call in _unlink_calls(func):
+                out.append(Finding(
+                    rule="SHM001", path=src.rel, line=call.lineno,
+                    col=call.col_offset, severity="error",
+                    message=(f"'{func.name}' attaches a {BLOCK_CLASS} but "
+                             "calls unlink() — attached (non-owner) "
+                             "mappings may only close(); unlinking from a "
+                             "worker tears the segment from its siblings"),
+                    snippet=src.snippet(call.lineno)))
+    return out

@@ -1,0 +1,198 @@
+"""Checker registry: named contract checkers, decorator registration.
+
+Mirrors the :mod:`repro.bench` registry pattern: every invariant the
+codebase depends on is a :class:`Checker` — a named callable that inspects
+parsed source files and yields :class:`Finding`\\ s. Checkers register
+themselves with the module-level :data:`REGISTRY` through the
+:func:`checker` decorator; the engine and the CLI resolve the rule set
+against that registry, so a new invariant lands by adding one decorated
+function (the standing rule documented in ROADMAP: new invariants land
+with a checker).
+
+Two checker scopes exist:
+
+* ``file`` — called once per analysed file with its :class:`SourceFile`;
+* ``project`` — called once with *every* analysed file, for cross-file
+  invariants (seed-label uniqueness cannot be judged one file at a time).
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+__all__ = [
+    "SEVERITIES",
+    "AnalysisError",
+    "DuplicateCheckerError",
+    "UnknownCheckerError",
+    "Finding",
+    "Checker",
+    "CheckerRegistry",
+    "REGISTRY",
+    "checker",
+    "load_builtin_checkers",
+]
+
+#: Severity levels understood by the engine and the CLI exit logic:
+#: ``error`` findings always fail the run; ``warning`` findings fail it
+#: only under ``--strict`` (the CI configuration).
+SEVERITIES = ("error", "warning")
+
+#: Rule ids the engine itself emits (not registered checkers).
+ENGINE_RULES = ("PRAGMA001", "PARSE001")
+
+
+class AnalysisError(Exception):
+    """Base class for analysis-subsystem errors."""
+
+
+class DuplicateCheckerError(AnalysisError):
+    """A rule id was registered twice."""
+
+
+class UnknownCheckerError(AnalysisError):
+    """A rule id was requested that no module registered."""
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One contract violation at a specific source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    severity: str
+    message: str
+    snippet: str = ""
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "severity": self.severity,
+            "message": self.message,
+            "snippet": self.snippet,
+        }
+
+
+#: File checkers receive one SourceFile; project checkers the full list.
+CheckFunc = Callable[..., List[Finding]]
+
+
+@dataclass(frozen=True)
+class Checker:
+    """A registered contract checker.
+
+    ``pragma`` is the per-line suppression token whose presence (with a
+    mandatory reason — ``# det-ok: <why>``) silences this checker's findings
+    on that line; several rules may share one token when they police the
+    same family of invariants (DET001/DET002 both answer to ``det-ok``).
+    """
+
+    rule: str
+    func: CheckFunc = field(repr=False)
+    pragma: str = ""
+    severity: str = "error"
+    scope: str = "file"
+    summary: str = ""
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"severity must be one of {SEVERITIES}, "
+                             f"got {self.severity!r}")
+        if self.scope not in ("file", "project"):
+            raise ValueError(f"scope must be 'file' or 'project', got {self.scope!r}")
+
+
+class CheckerRegistry:
+    """Mapping of rule id -> :class:`Checker`."""
+
+    def __init__(self) -> None:
+        self._checkers: Dict[str, Checker] = {}
+
+    def register(self, chk: Checker) -> Checker:
+        if chk.rule in self._checkers:
+            raise DuplicateCheckerError(
+                f"checker {chk.rule!r} is already registered "
+                f"(by {self._checkers[chk.rule].func.__module__})")
+        self._checkers[chk.rule] = chk
+        return chk
+
+    def get(self, rule: str) -> Checker:
+        try:
+            return self._checkers[rule]
+        except KeyError:
+            raise UnknownCheckerError(
+                f"no checker registered for rule {rule!r}; "
+                f"known: {sorted(self._checkers)}") from None
+
+    def rules(self) -> List[str]:
+        return sorted(self._checkers)
+
+    def checkers(self) -> List[Checker]:
+        return [self._checkers[r] for r in self.rules()]
+
+    def pragma_tokens(self) -> List[str]:
+        return sorted({c.pragma for c in self._checkers.values() if c.pragma})
+
+    def pragma_for(self, rule: str) -> str:
+        chk = self._checkers.get(rule)
+        return chk.pragma if chk is not None else ""
+
+    def clear(self) -> None:
+        """Forget all checkers (test isolation helper)."""
+        self._checkers.clear()
+
+    def __len__(self) -> int:
+        return len(self._checkers)
+
+    def __contains__(self, rule: str) -> bool:
+        return rule in self._checkers
+
+
+#: Process-global registry the decorator writes into.
+REGISTRY = CheckerRegistry()
+
+
+def checker(
+    rule: str,
+    pragma: str,
+    severity: str = "error",
+    scope: str = "file",
+    registry: Optional[CheckerRegistry] = None,
+) -> Callable[[CheckFunc], CheckFunc]:
+    """Decorator registering a checker function.
+
+    >>> @checker("DET001", pragma="det-ok")
+    ... def check(src):
+    ...     return []
+    """
+
+    def decorate(func: CheckFunc) -> CheckFunc:
+        summary = (func.__doc__ or "").strip().splitlines()
+        chk = Checker(
+            rule=rule,
+            func=func,
+            pragma=pragma,
+            severity=severity,
+            scope=scope,
+            summary=summary[0] if summary else "",
+        )
+        (registry if registry is not None else REGISTRY).register(chk)
+        func.checker = chk  # type: ignore[attr-defined]
+        return func
+
+    return decorate
+
+
+def load_builtin_checkers() -> CheckerRegistry:
+    """Import the built-in checker modules so they register themselves."""
+    from . import checkers  # noqa: F401  (import side effect registers checkers)
+
+    return REGISTRY

@@ -184,7 +184,7 @@ class ArrayBackend:
         broken (driver mismatch, JIT failure, …) fails here and is reported
         unavailable instead of corrupting layouts at run time.
         """
-        rng = np.random.default_rng(20240)
+        rng = np.random.default_rng(20240)  # det-ok: fixed-literal conformance-test seed, not a layout stream
         points = np.array([4, 1, 4, 7, 1, 4, 0, 7], dtype=np.int64)
         deltas = rng.normal(size=(points.size, 2))
         coords0 = rng.normal(size=(9, 2))

@@ -69,7 +69,7 @@ class BenchContext:
 
     def rng(self, label: str) -> np.random.Generator:
         """Fresh NumPy generator seeded from :meth:`seed_for`."""
-        return np.random.default_rng(self.seed_for(label))
+        return np.random.default_rng(self.seed_for(label))  # det-ok: seed_for() derives the stream from the master seed via derive_seed
 
     # ----------------------------------------------------------------- params
     @property

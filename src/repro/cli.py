@@ -12,6 +12,11 @@ Two subcommands:
   suite (``smoke``/``figures``/``tables``/``all``) and writes a versioned
   ``BENCH_<suite>.json``; ``compare`` diffs two result files and exits
   nonzero on regressions beyond a threshold; ``list`` shows registered cases.
+* ``repro analyze`` — the AST-based contract linter (:mod:`repro.analysis`):
+  checks the determinism (DET001/DET002), zero-alloc (ALLOC001),
+  backend-dispatch (XP001) and shm-lifecycle (SHM001) invariants over the
+  given paths and exits nonzero on violations (``--strict`` also fails on
+  warnings and stale baseline entries — the CI configuration).
 
 For backward compatibility, invoking the CLI with the historical flat
 ``repro-layout`` flags (no subcommand) still works: ``repro --gfa in.gfa``
@@ -31,7 +36,8 @@ from .metrics import sampled_path_stress
 from .render import save_svg
 from .synth import REPRESENTATIVE_SPECS, load_dataset
 
-__all__ = ["main", "build_parser", "build_bench_parser", "bench_main", "layout_main"]
+__all__ = ["main", "build_parser", "build_bench_parser", "build_analyze_parser",
+           "bench_main", "layout_main", "analyze_main"]
 
 
 class _DeprecatedThreadsAction(argparse.Action):
@@ -294,8 +300,73 @@ def bench_main(argv: Optional[Sequence[str]] = None) -> int:
     raise AssertionError("unreachable")
 
 
+def build_analyze_parser() -> argparse.ArgumentParser:
+    """Construct the ``repro analyze`` argument parser."""
+    from .analysis import DEFAULT_BASELINE_PATH
+
+    parser = argparse.ArgumentParser(
+        prog="repro analyze",
+        description="AST-based contract linter: determinism (DET001/DET002), "
+                    "zero-alloc hot loops (ALLOC001), backend dispatch "
+                    "(XP001) and shm lifecycle (SHM001)",
+    )
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to analyze (default: src)")
+    parser.add_argument("--strict", action="store_true",
+                        help="also fail on warnings and on stale baseline "
+                             "entries (the CI configuration)")
+    parser.add_argument("--format", choices=["text", "json"], default="text",
+                        help="report format (default: text)")
+    parser.add_argument("--baseline", default=None,
+                        help="suppression baseline JSON for grandfathered "
+                             f"sites (default: {DEFAULT_BASELINE_PATH} when "
+                             "it exists; pass an explicit path otherwise)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore any baseline, report every finding")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="write the current findings to the baseline "
+                             "path (grandfathering them) instead of failing")
+    return parser
+
+
+def analyze_main(argv: Optional[Sequence[str]] = None) -> int:
+    """``repro analyze`` entry point; returns the process exit code."""
+    import os
+
+    from .analysis import (DEFAULT_BASELINE_PATH, AnalysisError, Baseline,
+                           run_analysis)
+
+    args = build_analyze_parser().parse_args(argv)
+    baseline_path = args.baseline
+    if baseline_path is None and not args.no_baseline \
+            and os.path.exists(DEFAULT_BASELINE_PATH):
+        baseline_path = DEFAULT_BASELINE_PATH
+    try:
+        if args.write_baseline:
+            target = baseline_path or DEFAULT_BASELINE_PATH
+            report = run_analysis(args.paths)
+            Baseline.from_findings(report.findings).save(target)
+            print(f"wrote {len(report.findings)} finding(s) as "
+                  f"{target} baseline entries")
+            return 0
+        baseline = None
+        if baseline_path is not None and not args.no_baseline:
+            baseline = Baseline.load(baseline_path)
+        report = run_analysis(args.paths, baseline=baseline)
+        if args.format == "json":
+            print(report.format_json())
+        else:
+            print(report.format_text(strict=args.strict))
+        return report.exit_code(strict=args.strict)
+    except BrokenPipeError:
+        return 0
+    except (AnalysisError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
 #: Subcommands of the top-level ``repro`` program.
-_COMMANDS = ("layout", "bench")
+_COMMANDS = ("layout", "bench", "analyze")
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -308,6 +379,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args: List[str] = list(sys.argv[1:] if argv is None else argv)
     if args and args[0] == "bench":
         return bench_main(args[1:])
+    if args and args[0] == "analyze":
+        return analyze_main(args[1:])
     if args and args[0] == "layout":
         return layout_main(args[1:])
     if args and args[0] in ("-h", "--help") and argv is None:

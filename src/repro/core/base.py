@@ -194,7 +194,7 @@ class LayoutEngine:
     # ------------------------------------------------------------------ run
     def run(self, initial: Optional[Layout] = None) -> LayoutResult:
         """Execute the full layout optimisation and return the result."""
-        t_start = time.perf_counter()
+        t_start = time.perf_counter()  # det-ok: reporting-only wall time, never feeds layout math
         params = self.params
         layout = (
             initial.copy()
@@ -280,7 +280,7 @@ class LayoutEngine:
             total_terms=total_terms,
             history=history,
             counters=dict(self._counters),
-            wall_time_s=time.perf_counter() - t_start,
+            wall_time_s=time.perf_counter() - t_start,  # det-ok: reporting-only wall time, never feeds layout math
         )
 
     # -------------------------------------------------------------- helpers

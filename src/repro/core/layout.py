@@ -139,7 +139,7 @@ def initialize_layout(
     get small Gaussian jitter to break symmetry. Nodes visited by no path are
     appended past the longest path.
     """
-    rng = np.random.default_rng(seed)
+    rng = np.random.default_rng(seed)  # det-ok: seeded by the caller's explicit seed argument
     n = graph.n_nodes
     first_pos = np.full(n, -1.0, dtype=np.float64)
     nodes = graph.step_nodes

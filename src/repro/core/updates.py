@@ -301,7 +301,7 @@ def batch_stress(
     ``coords`` must live in ``backend``'s memory space (host NumPy default).
     """
     valid = batch.d_ref > 0
-    if not np.any(valid):
+    if not bool(valid.any()):
         return 0.0
     be = backend if backend is not None else _default_backend()
     xp = be.xp

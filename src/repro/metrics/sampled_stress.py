@@ -60,7 +60,7 @@ def sampled_path_stress(
     """
     if samples_per_step < 1:
         raise ValueError("samples_per_step must be >= 1")
-    rng = np.random.default_rng(seed)
+    rng = np.random.default_rng(seed)  # det-ok: seeded by the caller's explicit seed argument
     counts = graph.path_step_counts
     eligible = counts >= 2
     if not np.any(eligible):
@@ -110,7 +110,7 @@ def sample_step_pairs(
     """
     if samples_per_step < 1:
         raise ValueError("samples_per_step must be >= 1")
-    rng = np.random.default_rng(seed)
+    rng = np.random.default_rng(seed)  # det-ok: seeded by the caller's explicit seed argument
     offsets = graph.path_offsets
     flat_i = []
     flat_j = []

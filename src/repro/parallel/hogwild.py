@@ -73,7 +73,7 @@ def measure_collisions(
     fractions = []
     for b in range(n_batches):
         batch = sampler.sample(rng, concurrency, iteration=0)
-        points = np.concatenate([
+        points = np.concatenate([  # xp-ok: batch index arrays are host-resident by the sampler contract
             2 * batch.node_i + batch.vis_i,
             2 * batch.node_j + batch.vis_j,
         ])
@@ -82,7 +82,7 @@ def measure_collisions(
         counts = be.to_host(counts)
         colliding_points = counts[counts > 1].sum()
         fractions.append(colliding_points / points.size)
-    fractions_arr = np.asarray(fractions)
+    fractions_arr = np.asarray(fractions)  # xp-ok: reduces a Python list of host floats
     return CollisionReport(
         concurrency=concurrency,
         n_batches=n_batches,

@@ -200,7 +200,7 @@ def chromosome_suite(
     base_backbone = 1200 if quick else 6000
     base_paths = 6 if quick else 20
     suite: Dict[str, LeanGraph] = {}
-    rng = np.random.default_rng(seed)
+    rng = np.random.default_rng(seed)  # det-ok: seeded by the caller's explicit seed argument
     for i, name in enumerate(names):
         w = weights[i]
         n_backbone = max(64, int(base_backbone * w * scale))
@@ -226,7 +226,7 @@ def small_graph_collection(n_graphs: int = 30, seed: int = 13) -> List[LeanGraph
     """
     if n_graphs < 2:
         raise ValueError("need at least two graphs for a correlation study")
-    rng = np.random.default_rng(seed)
+    rng = np.random.default_rng(seed)  # det-ok: seeded by the caller's explicit seed argument
     graphs: List[LeanGraph] = []
     for i in range(n_graphs):
         cfg = PangenomeConfig(

@@ -105,7 +105,7 @@ def simulate_pangenome(config: PangenomeConfig) -> LeanGraph:
     The simulation is fully deterministic given ``config.seed``.
     """
     config.validate()
-    rng = np.random.default_rng(config.seed)
+    rng = np.random.default_rng(config.seed)  # det-ok: seeded by the generator config's explicit seed field
     B = config.n_backbone_nodes
     P = config.n_paths
 
