@@ -12,6 +12,14 @@ never allocates in steady state. This pass flags array-allocating calls
   ``run_fixed_hop`` / ``run_iteration`` / ``run_iteration_host`` /
   ``_worker_main`` — in any hot-path directory.
 
+Per-iteration functions (:data:`PER_ITERATION_FUNCS`) are additionally
+scanned over their *whole* body, loop or not: the engine calls them every
+iteration, so a function-top allocation there is a steady-state allocation
+even though no loop syntax surrounds it. (This is the extension that would
+have caught ``iteration_draws`` allocating its ``(8, total_terms)``
+selection block afresh each iteration — fixed in PR 8 by hoisting the
+buffer into the plan cache.)
+
 Deliberate in-loop allocation (a grow-on-demand path, a once-per-run
 setup loop) is annotated ``# alloc-ok: <reason>``. Severity is
 ``warning``: an allocation is a perf smell, not a correctness bug, but CI
@@ -48,6 +56,12 @@ HOT_LOOP_FILES = {("core", "updates.py"), ("core", "fused.py")}
 RUN_PATH_FUNCS = {"run", "run_inline", "run_fixed_hop", "run_iteration",
                   "run_iteration_host", "_worker_main"}
 
+#: Functions the engine invokes once (or more) per iteration: their whole
+#: body is per-iteration steady state, so allocation is flagged anywhere in
+#: it, not only inside loop bodies.
+PER_ITERATION_FUNCS = {"run_iteration", "run_iteration_host",
+                       "iteration_draws"}
+
 
 def _is_hot_loop_file(src: SourceFile) -> bool:
     parts = src.parts
@@ -60,6 +74,18 @@ def _alloc_name(call: ast.Call) -> str:
     if isinstance(call.func, ast.Name) and call.func.id in ALLOC_CALLS:
         return call.func.id
     return ""
+
+
+def _finding(src: SourceFile, node: ast.Call, name: str,
+             where: str) -> Finding:
+    return Finding(
+        rule="ALLOC001", path=src.rel, line=node.lineno,
+        col=node.col_offset, severity="warning",
+        message=(f"array allocation '{name}()' {where} "
+                 "— the update hot path must stay allocation-free "
+                 "(hoist into the per-run UpdateWorkspace) or justify "
+                 "with '# alloc-ok: <reason>'"),
+        snippet=src.snippet(node.lineno))
 
 
 def _scan_region(src: SourceFile, region: ast.AST,
@@ -76,27 +102,49 @@ def _scan_region(src: SourceFile, region: ast.AST,
         if key in seen:
             continue
         seen.add(key)
-        out.append(Finding(
-            rule="ALLOC001", path=src.rel, line=node.lineno,
-            col=node.col_offset, severity="warning",
-            message=(f"array allocation '{name}()' inside a {where} loop "
-                     "body — the update hot path must stay allocation-free "
-                     "(hoist into the per-run UpdateWorkspace) or justify "
-                     "with '# alloc-ok: <reason>'"),
-            snippet=src.snippet(node.lineno)))
+        out.append(_finding(src, node, name,
+                            f"inside a {where} loop body"))
+    return out
+
+
+def _scan_whole_function(src: SourceFile,
+                         func: ast.FunctionDef) -> List[Finding]:
+    """Every allocating call in ``func``'s body, loop or not."""
+    out: List[Finding] = []
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _alloc_name(node)
+        if not name:
+            continue
+        out.append(_finding(
+            src, node, name,
+            f"in per-iteration function '{func.name}' (runs every "
+            "iteration even outside a loop)"))
     return out
 
 
 @checker("ALLOC001", pragma="alloc-ok", severity="warning", scope="file")
 def check_alloc001(src: SourceFile) -> List[Finding]:
-    """Array allocation inside hot-loop ``for``/``while`` bodies."""
-    if _is_hot_loop_file(src):
-        return _scan_region(src, src.tree, "hot-path")
-    if not src.in_hot_path_dir():
-        return []
+    """Array allocation in hot-loop bodies and per-iteration functions."""
     out: List[Finding] = []
+    hot_file = _is_hot_loop_file(src)
+    if hot_file:
+        out.extend(_scan_region(src, src.tree, "hot-path"))
+    elif src.in_hot_path_dir():
+        for node in ast.walk(src.tree):
+            if (isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and node.name in RUN_PATH_FUNCS):
+                out.extend(_scan_region(src, node, f"'{node.name}' run-path"))
+    else:
+        return []
+    # Per-iteration functions: the whole body is steady state.
+    reported = {(f.line, f.col) for f in out}
     for node in ast.walk(src.tree):
         if (isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
-                and node.name in RUN_PATH_FUNCS):
-            out.extend(_scan_region(src, node, f"'{node.name}' run-path"))
+                and node.name in PER_ITERATION_FUNCS):
+            for finding in _scan_whole_function(src, node):
+                if (finding.line, finding.col) not in reported:
+                    reported.add((finding.line, finding.col))
+                    out.append(finding)
     return out

@@ -1,0 +1,97 @@
+"""MEM001 — the bounded-iteration-memory contract (PR 8).
+
+The fused path's original formulation materialised O(terms-per-iteration)
+transient state (~:data:`~repro.core.fused.FUSED_BYTES_PER_TERM` bytes per
+term) — fine at smoke scale, a latent OOM at the paper's chromosome-scale
+workloads. The chunked megablock (``LayoutParams.memory_budget`` /
+:func:`~repro.core.fused.build_iteration_plans`) exists so that footprint
+is bounded by a budget instead.
+
+This pass keeps it that way: it flags allocating calls (the ALLOC001 set
+plus the PRNG bulk draw ``next_double_block``) in hot-path directories
+whose argument expressions reference an *iteration-scale* quantity —
+``total_terms``, ``calls_per_iteration`` and friends — i.e. sites that
+materialise whole-iteration-sized state and therefore bypass the chunk
+machinery. The chunk machinery itself necessarily draws per-chunk blocks
+through the same spelling (``next_double_block(chunk.calls_per_iteration)``
+where the plan is budget-bounded); those sites carry ``# mem-ok: <reason>``
+pragmas documenting why the quantity is bounded. Severity is ``warning``
+(a perf/capacity smell, not a correctness bug), but CI runs ``--strict``
+so it gates all the same.
+"""
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from ..astutil import dotted_name
+from ..registry import Finding, checker
+from ..source import SourceFile
+from .alloc import ALLOC_CALLS
+
+__all__ = ["check_mem001"]
+
+#: Identifier / attribute names that denote an iteration-scale quantity.
+#: Sizing an allocation (or a PRNG bulk draw) by one of these is exactly the
+#: O(terms-per-iteration) materialisation the chunked fused path removes.
+ITER_SCALE_NAMES = {
+    "total_terms",
+    "terms_per_iteration",
+    "iteration_terms",
+    "calls_per_iteration",
+    "steps_per_iter",
+    "steps_per_iteration",
+}
+
+#: Calls that materialise memory proportional to their size argument: every
+#: ALLOC001 allocator plus the Xoshiro bulk draw (a ``(calls, n_streams)``
+#: float64 block — the fused megablock itself).
+MEM_ALLOC_CALLS = ALLOC_CALLS | {"next_double_block"}
+
+
+def _mem_alloc_name(call: ast.Call) -> str:
+    if isinstance(call.func, ast.Attribute) and call.func.attr in MEM_ALLOC_CALLS:
+        return dotted_name(call.func) or call.func.attr
+    if isinstance(call.func, ast.Name) and call.func.id in MEM_ALLOC_CALLS:
+        return call.func.id
+    return ""
+
+
+def _iteration_scale_ref(call: ast.Call) -> str:
+    """Name of the iteration-scale quantity referenced in the call's
+    arguments ('' when none is)."""
+    for arg in list(call.args) + [kw.value for kw in call.keywords]:
+        for node in ast.walk(arg):
+            if isinstance(node, ast.Name) and node.id in ITER_SCALE_NAMES:
+                return node.id
+            if isinstance(node, ast.Attribute) and node.attr in ITER_SCALE_NAMES:
+                return node.attr
+    return ""
+
+
+@checker("MEM001", pragma="mem-ok", severity="warning", scope="file")
+def check_mem001(src: SourceFile) -> List[Finding]:
+    """Whole-iteration-sized materialisation bypassing the chunk machinery."""
+    if not src.in_hot_path_dir():
+        return []
+    out: List[Finding] = []
+    for node in ast.walk(src.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _mem_alloc_name(node)
+        if not name:
+            continue
+        scale = _iteration_scale_ref(node)
+        if not scale:
+            continue
+        out.append(Finding(
+            rule="MEM001", path=src.rel, line=node.lineno,
+            col=node.col_offset, severity="warning",
+            message=(f"'{name}()' sized by iteration-scale quantity "
+                     f"'{scale}' in a hot path — whole-iteration "
+                     "materialisations bypass the chunked fused path "
+                     "(LayoutParams.memory_budget / build_iteration_plans); "
+                     "size it to a chunk or justify with "
+                     "'# mem-ok: <reason>'"),
+            snippet=src.snippet(node.lineno)))
+    return out

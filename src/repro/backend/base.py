@@ -165,6 +165,16 @@ class ArrayBackend:
           call-minor per segment, segments in plan order, i.e. exactly the
           unfused per-batch draw order.
 
+        Under ``LayoutParams.memory_budget`` the engine calls this once per
+        budget-sized *chunk* of the iteration's batch plan instead of once
+        per iteration (:func:`~repro.core.fused.build_iteration_plans`);
+        each chunk arrives as its own plan object with its own ``cache``, so
+        implementations that stash plan-shaped derived state (device
+        arrays, compiled-arg tuples) need no chunk awareness — the two
+        invariants above already make chunked execution byte-identical.
+        Implementations must size transients to *this plan's* terms, never
+        to the whole iteration (enforced by the MEM001 contract check).
+
         The generic implementation executes through this backend's own
         namespace and kernels (host selection, or device selection when
         :attr:`fused_device_selection` is set); subclasses with a genuinely

@@ -31,6 +31,12 @@ Deviations from the generic base:
   device selection on a new driver/toolkit — ``--no-fused`` (or host
   selection via ``fused_device_selection = False``) is the fallback if it
   ever trips.
+* ``LayoutParams.memory_budget`` bounds *device* transients the same way it
+  bounds host ones: the engine dispatches budget-sized chunk plans, each
+  chunk's megablock upload and device selection block are sized to the
+  chunk (the draws buffer is cached under ``draws/cupy`` in the scratch all
+  chunk plans share, and the device selection arrays are uploaded once per
+  run, not per chunk), so VRAM peak no longer scales with terms/iteration.
 
 Importing this module raises :class:`ImportError` when cupy is missing, and
 the registration self-test exercises a real device allocation — a machine

@@ -298,13 +298,19 @@ class NumbaBackend(NumpyBackend):
 
     def run_iteration(self, plan, coords, uniforms, eta: float,
                       iteration: int):
-        """The whole iteration in one ``@njit`` call — selection included.
+        """The whole plan in one ``@njit`` call — selection included.
 
         This is the host analogue of the paper's one-kernel-per-iteration
         design: a single compiled dispatch consumes the pre-drawn uniform
         megablock and performs selection + displacement + sequential segment
-        merges without returning to the interpreter. The kernel arguments
-        are cached per run in the plan's backend scratch.
+        merges without returning to the interpreter. Under a memory budget
+        the engine passes budget-sized chunk plans instead of the whole
+        iteration; nothing here changes, because the kernel arguments are
+        cached split by dependence — the chunk-shaped pair (this plan's
+        segment array and call counts) per plan, the graph-sized contiguous
+        copies once per run in the chunk-shared scratch — and the kernel's
+        own scratch is sized to the plan's largest segment, not its term
+        total.
         """
         # Runtime imports keep the module dependency pointing core -> backend;
         # _MIN_DISTANCE is threaded into the kernel so the coincident-point
@@ -312,13 +318,11 @@ class NumbaBackend(NumpyBackend):
         from ..core.fused import FusedIterationStats
         from ..core.updates import _MIN_DISTANCE
 
-        args = plan.cache.get("numba/args")
-        if args is None:
+        static = plan.scratch.get("numba/static")
+        if static is None:
             arrays = plan.sampler.arrays
             params = plan.params
-            args = (
-                np.ascontiguousarray(np.asarray(plan.plan, dtype=np.int64)),
-                np.ascontiguousarray(plan.need_calls.astype(np.int64)),
+            static = (
                 np.int64(plan.n_streams),
                 np.ascontiguousarray(arrays.cum_steps.astype(np.int64)),
                 np.ascontiguousarray(arrays.path_offsets.astype(np.int64)),
@@ -328,10 +332,17 @@ class NumbaBackend(NumpyBackend):
                 np.float64(params.zipf_theta),
                 np.int64(params.zipf_space_max),
             )
+            plan.scratch["numba/static"] = static
+        args = plan.cache.get("numba/args")
+        if args is None:
+            args = (
+                np.ascontiguousarray(np.asarray(plan.plan, dtype=np.int64)),
+                np.ascontiguousarray(plan.need_calls.astype(np.int64)),
+            )
             plan.cache["numba/args"] = args
-        (plan_arr, need_calls, n_streams, cum_steps, path_offsets,
-         path_counts, step_nodes, step_positions, zipf_theta,
-         zipf_space_max) = args
+        plan_arr, need_calls = args
+        (n_streams, cum_steps, path_offsets, path_counts, step_nodes,
+         step_positions, zipf_theta, zipf_space_max) = static
         always = iteration >= plan.params.first_cooling_iteration()
         n_terms, n_collisions = _fused_iteration_kernel(
             coords, uniforms, plan_arr, need_calls, n_streams, cum_steps,

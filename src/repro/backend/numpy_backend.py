@@ -11,7 +11,11 @@ base) is held to the same bar: it re-expresses the historical per-batch
 call sequence segment by segment — one vectorised selection pass (every
 selection op is elementwise, so per-term values cannot change) followed by
 the ordinary per-segment displacement/merge kernels — making fused layouts
-byte-identical to unfused ones on this backend.
+byte-identical to unfused ones on this backend. The same argument covers
+the chunked fused path (``LayoutParams.memory_budget``): chunk boundaries
+are segment boundaries and the bulk PRNG draw is interchangeable
+mid-stream, so budgeted layouts are byte-identical to unbudgeted ones here
+for every budget — the anchor the chunk-boundary property tests pin.
 """
 from __future__ import annotations
 

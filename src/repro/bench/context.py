@@ -32,6 +32,7 @@ from ..synth import (
     chromosome_suite,
     hla_drb1_like,
     mhc_like,
+    scale_graph,
     small_graph_collection,
 )
 
@@ -99,6 +100,23 @@ class BenchContext:
                             backend=self.backend_name,
                             fused=self.fused)
 
+    @property
+    def scale_params(self) -> LayoutParams:
+        """Parameters for the ``scale`` suite's memory-ceiling workload.
+
+        A deliberately short schedule (two iterations — the per-iteration
+        transient footprint being gated is identical every iteration) over a
+        small fraction of the huge step count, with ``simulated_threads``
+        raised so the CPU baseline's Hogwild rounds are large enough that
+        per-segment Python overhead does not dominate the measurement. The
+        case layers ``memory_budget`` on top with ``with_()``.
+        """
+        return LayoutParams(iter_max=2, steps_per_step_unit=0.2,
+                            simulated_threads=64,
+                            seed=self.seed_for("params/scale"),
+                            backend=self.backend_name,
+                            fused=self.fused)
+
     # --------------------------------------------------------------- datasets
     def _cached(self, key: str, build):
         if key not in self._graphs:
@@ -130,6 +148,18 @@ class BenchContext:
         is well under the smoke budget.
         """
         return self._cached("chr1_full", lambda: chr1_like(scale=1.0))
+
+    @property
+    def scale_graph(self) -> LeanGraph:
+        """Synthetic 10⁶-node / 10⁷-step graph for the ``scale`` suite.
+
+        Big enough that an *unchunked* fused iteration would materialise
+        hundreds of megabytes of transients (~FUSED_BYTES_PER_TERM × the
+        per-iteration term count), so the chunked path's budget actually
+        binds. Built fully vectorised (:func:`repro.synth.scale_graph`);
+        the seed is the dataset-identity seed, like the named specs.
+        """
+        return self._cached("scale", lambda: scale_graph())
 
     @property
     def representative_graphs(self) -> Dict[str, LeanGraph]:

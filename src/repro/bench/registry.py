@@ -6,7 +6,8 @@ Every figure/table reproduction (and every CI smoke workload) is a
 :class:`CaseResult` carrying the metrics to persist. Cases register
 themselves with the module-level :data:`REGISTRY` through the
 :func:`bench_case` decorator; the runner and the CLI resolve suites
-(``smoke``, ``figures``, ``tables``, ``all``) against that registry.
+(``smoke``, ``figures``, ``tables``, ``scale``, ``all``) against that
+registry.
 """
 from __future__ import annotations
 
@@ -29,7 +30,10 @@ __all__ = [
 ]
 
 #: Suites the CLI accepts. ``all`` is virtual: every registered case.
-KNOWN_SUITES = ("smoke", "figures", "tables", "all")
+#: ``scale`` is the memory-ceiling gate: a synthetic million-node graph
+#: whose peak-footprint metrics are gated like wall time (see
+#: ``bench/cases/scale_chunked.py``).
+KNOWN_SUITES = ("smoke", "figures", "tables", "scale", "all")
 
 #: Metric directions understood by the regression gate.
 DIRECTIONS = ("lower", "higher", "info")

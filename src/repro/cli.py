@@ -14,9 +14,10 @@ Two subcommands:
   nonzero on regressions beyond a threshold; ``list`` shows registered cases.
 * ``repro analyze`` — the AST-based contract linter (:mod:`repro.analysis`):
   checks the determinism (DET001/DET002), zero-alloc (ALLOC001),
-  backend-dispatch (XP001) and shm-lifecycle (SHM001) invariants over the
-  given paths and exits nonzero on violations (``--strict`` also fails on
-  warnings and stale baseline entries — the CI configuration).
+  memory-ceiling (MEM001), backend-dispatch (XP001) and shm-lifecycle
+  (SHM001) invariants over the given paths and exits nonzero on violations
+  (``--strict`` also fails on warnings and stale baseline entries — the CI
+  configuration).
 
 For backward compatibility, invoking the CLI with the historical flat
 ``repro-layout`` flags (no subcommand) still works: ``repro --gfa in.gfa``
@@ -119,6 +120,15 @@ def build_parser() -> argparse.ArgumentParser:
                              "process-parallel shared-memory hogwild engine "
                              "(N>1 routes the run through repro.parallel.shm; "
                              "cpu engine only)")
+    parser.add_argument("--memory-budget", dest="memory_budget", default=None,
+                        help="ceiling on the fused path's per-iteration "
+                             "transient footprint, as bytes or a size string "
+                             "('64MB'): the iteration's batch plan is split "
+                             "into budget-sized segment chunks dispatched in "
+                             "order; layouts are byte-identical to the "
+                             "unbudgeted run on the numpy backend (workers "
+                             "split the budget evenly; default: no budget, "
+                             "one dispatch per iteration)")
     parser.add_argument("--out-lay", help="write the layout to a .lay binary file")
     parser.add_argument("--out-tsv", help="write the layout to a TSV file")
     parser.add_argument("--out-svg", help="render the layout to an SVG file")
@@ -170,6 +180,7 @@ def layout_main(argv: Optional[Sequence[str]] = None) -> int:
         backend=args.backend,
         merge_policy=args.merge_policy,
         fused=args.fused,
+        memory_budget=args.memory_budget,
         levels=args.levels,
         level_iter_split=args.level_split,
     )
@@ -307,8 +318,9 @@ def build_analyze_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro analyze",
         description="AST-based contract linter: determinism (DET001/DET002), "
-                    "zero-alloc hot loops (ALLOC001), backend dispatch "
-                    "(XP001) and shm lifecycle (SHM001)",
+                    "zero-alloc hot loops (ALLOC001), bounded iteration "
+                    "memory (MEM001), backend dispatch (XP001) and shm "
+                    "lifecycle (SHM001)",
     )
     parser.add_argument("paths", nargs="*", default=["src"],
                         help="files or directories to analyze (default: src)")

@@ -135,6 +135,9 @@ def layout_graph(
                 f"workers={params.workers} requires the 'cpu' engine (the "
                 f"shm engine partitions its work), got engine={engine!r}")
         if params.levels > 1:
+            # workers > 1 × levels > 1 is already rejected when the params
+            # are constructed; this only catches the explicit engine="shm"
+            # spelling (workers == 1), with the identical message.
             raise ValueError(
                 "workers > 1 and levels > 1 cannot be combined yet; run the "
                 "multilevel driver single-process or the shm engine flat")

@@ -17,8 +17,9 @@ from typing import Any, Dict, List, Optional
 from ..backend import ArrayBackend, get_backend
 from ..graph.lean import LeanGraph
 from ..graph.path_index import PathIndex
+from ..memtrack import PeakTracker
 from ..prng.xoshiro import Xoshiro256Plus
-from .fused import FusedIterationPlan
+from .fused import FusedIterationPlan, build_iteration_plans
 from .layout import Layout, NodeDataLayout, initialize_layout
 from .params import LayoutParams
 from .schedule import make_schedule
@@ -98,7 +99,19 @@ class LayoutResult:
             ),
             "update_dispatches": int(self.counters.get("update_dispatches", 0)),
             "fused_iterations": int(self.counters.get("fused_iterations", 0)),
+            "fused_chunks": int(self.counters.get("fused_chunks", 0)),
             "workers": int(self.params.workers),
+            # Peak-memory accounting (repro.memtrack): max RSS is sampled on
+            # every run; the traced peak only exists when the caller had
+            # tracemalloc active around the run (e.g. the scale bench suite).
+            "peak_rss_bytes": (
+                int(self.counters["peak_rss_bytes"])
+                if "peak_rss_bytes" in self.counters else None
+            ),
+            "traced_peak_bytes": (
+                int(self.counters["traced_peak_bytes"])
+                if "traced_peak_bytes" in self.counters else None
+            ),
             "final_stress": self.final_stress(),
         }
 
@@ -215,20 +228,30 @@ class LayoutEngine:
         plan = self.batch_plan(steps_per_iter)
         workspace = self.make_workspace(plan)
         # Fused path: the whole iteration — selection, displacement, merge —
-        # is one backend dispatch over a pre-drawn uniform megablock, instead
-        # of a sample/apply_batch round trip per batch (repro.core.fused).
+        # runs below the backend seam over pre-drawn uniform megablocks
+        # (repro.core.fused) instead of a sample/apply_batch round trip per
+        # batch. Without a memory budget that is one plan covering the whole
+        # batch plan (one dispatch per iteration, PR 5 economics); with
+        # params.memory_budget the plan is split into contiguous segment
+        # chunks dispatched in order, bounding the per-dispatch transient
+        # footprint while staying byte-identical on the NumPy backend.
         fused = bool(plan) and self.fused_active()
-        fused_plan: Optional[FusedIterationPlan] = None
+        fused_plans: List[FusedIterationPlan] = []
         if fused:
-            fused_plan = FusedIterationPlan(
+            fused_plans = build_iteration_plans(
                 sampler=self.sampler,
                 workspace=workspace,
                 merge=self.merge_policy(),
                 plan=plan,
                 n_streams=rng.n_streams,
+                memory_budget=params.memory_budget,
             )
+            self.max_counter("fused_chunks", float(len(fused_plans)))
         self.add_counter("fused_iterations",
                          float(params.iter_max if fused else 0))
+        # Peak-memory accounting: max RSS always (cheap getrusage read);
+        # the tracemalloc delta only when a caller already pays for tracing.
+        mem = PeakTracker(trace=None).start()
         history: List[IterationRecord] = []
         total_terms = 0
         for iteration in range(params.iter_max):
@@ -238,12 +261,17 @@ class LayoutEngine:
             stress_probe = 0.0
             probe_count = 0
             if fused:
-                block = rng.next_double_block(fused_plan.calls_per_iteration)
-                stats = self.backend.run_iteration(fused_plan, coords, block,
-                                                   eta, iteration)
-                n_collisions = stats.n_point_collisions
-                n_terms_iter = stats.n_terms
-                self.add_counter("update_dispatches", 1.0)
+                for chunk in fused_plans:
+                    # Sequential per-chunk draws consume exactly the stream
+                    # state one whole-iteration draw would (the bulk draw is
+                    # interchangeable mid-stream), so chunking never moves a
+                    # sampled term.
+                    block = rng.next_double_block(chunk.calls_per_iteration)  # mem-ok: chunk plans are budget-bounded; the unbudgeted single chunk is the documented opt-in default
+                    stats = self.backend.run_iteration(chunk, coords, block,
+                                                       eta, iteration)
+                    n_collisions += stats.n_point_collisions
+                    n_terms_iter += stats.n_terms
+                self.add_counter("update_dispatches", float(len(fused_plans)))
             else:
                 for batch_index, batch_size in enumerate(plan):
                     batch = self.draw_batch(rng, batch_size, iteration, batch_index)
@@ -271,6 +299,11 @@ class LayoutEngine:
                     )
                 )
         self.backend.synchronize()
+        mem.stop()
+        if mem.rss_peak_bytes is not None:
+            self.max_counter("peak_rss_bytes", float(mem.rss_peak_bytes))
+        if mem.traced_peak_bytes is not None:
+            self.max_counter("traced_peak_bytes", float(mem.traced_peak_bytes))
         result_layout = Layout(self.backend.to_host(coords), self.data_layout())
         return LayoutResult(
             layout=result_layout,
@@ -295,3 +328,13 @@ class LayoutEngine:
     def add_counter(self, key: str, value: float) -> None:
         """Accumulate a named counter exposed in the result."""
         self._counters[key] = self._counters.get(key, 0.0) + value
+
+    def max_counter(self, key: str, value: float) -> None:
+        """Record a high-water counter (max semantics, not accumulation).
+
+        Used for quantities where re-running or nesting must not inflate the
+        figure — peak memory, chunk counts — in contrast to the event
+        counters :meth:`add_counter` accumulates.
+        """
+        value = float(value)
+        self._counters[key] = max(self._counters.get(key, value), value)

@@ -30,11 +30,23 @@ unfused ones; other backends are held to the conformance matrix's 1e-9.
 The megablock consumes the PRNG streams in the exact order the per-batch
 draws did (vector-major, call-minor per segment, segments in plan order), so
 fused and unfused runs see identical sampled terms.
+
+Memory is bounded, not O(iteration). The whole-iteration megablock costs
+~:data:`FUSED_BYTES_PER_TERM` bytes of transient state per term, which is
+fine at smoke scale and fatal at the paper's chromosome-scale workloads
+(~10^8 terms/iteration). Under ``LayoutParams(memory_budget=...)`` the
+engine therefore splits each iteration's plan into contiguous segment
+*chunks* (:func:`chunk_spans` / :func:`build_iteration_plans`) and runs one
+dispatch per chunk. Chunk boundaries are segment boundaries and the bulk
+PRNG draw is interchangeable mid-stream, so drawing and dispatching the
+chunks in plan order consumes identical stream state and executes the
+identical per-segment computation — budgeted layouts are byte-identical to
+unbudgeted ones on the NumPy backend, for every budget.
 """
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -43,8 +55,11 @@ from .selection import PairSampler, SelectionArrays
 from .updates import UpdateWorkspace, merge_batch
 
 __all__ = [
+    "FUSED_BYTES_PER_TERM",
     "FusedIterationStats",
     "FusedIterationPlan",
+    "build_iteration_plans",
+    "chunk_spans",
     "uniform_call_plan",
     "run_iteration_host",
     "slice_plan",
@@ -53,6 +68,16 @@ __all__ = [
 #: Uniform vectors consumed per term by the default selection branch
 #: (6 path/cooling/pair vectors + 2 endpoint coin flips).
 SAMPLE_VECTORS = 8
+
+#: Conservative estimate of the fused path's peak transient bytes per term,
+#: used by :func:`chunk_spans` to turn a byte budget into a term budget. The
+#: dominant residents while a chunk is in flight: the uniform megablock
+#: (``SAMPLE_VECTORS × 8`` = 64 B/term), the re-laid selection block (64),
+#: its transpose/reshape temporary (64), and the selection pass's per-term
+#: index/distance vectors plus the StepBatch views (~190). Measured peaks on
+#: the ``scale`` bench suite sit below this figure; keeping the estimate
+#: conservative means a budget is an upper bound, not a target.
+FUSED_BYTES_PER_TERM = 384
 
 
 def uniform_call_plan(plan: List[int], n_streams: int) -> Tuple[np.ndarray, int]:
@@ -103,6 +128,84 @@ def slice_plan(plan: List[int], workers: int) -> List[List[int]]:
     return [plan[bounds[k]:bounds[k + 1]] for k in range(n_workers)]
 
 
+def chunk_spans(plan: List[int], memory_budget: Optional[int] = None,
+                bytes_per_term: int = FUSED_BYTES_PER_TERM) -> List[Tuple[int, int]]:
+    """Pack a batch plan's segments into contiguous budget-sized chunks.
+
+    Returns half-open ``(start, end)`` segment-index spans covering ``plan``
+    in order. ``memory_budget=None`` returns the single whole-plan span —
+    the historical one-dispatch-per-iteration behaviour. Otherwise segments
+    are packed greedily so each chunk's term count stays within
+    ``memory_budget // bytes_per_term``; segments are the merge-semantics
+    quantum and are never split, so a budget smaller than one segment
+    degrades to one segment per chunk (the footprint floor) rather than
+    failing. Chunk boundaries land on segment boundaries by construction,
+    which is what lets the draw-order contract guarantee budgeted runs are
+    byte-identical to unbudgeted ones.
+    """
+    n_seg = len(plan)
+    if n_seg == 0:
+        return []
+    if memory_budget is None:
+        return [(0, n_seg)]
+    if memory_budget < 1:
+        raise ValueError("memory_budget must be a positive number of bytes")
+    if bytes_per_term < 1:
+        raise ValueError("bytes_per_term must be >= 1")
+    target_terms = max(1, int(memory_budget) // int(bytes_per_term))
+    spans: List[Tuple[int, int]] = []
+    start = 0
+    terms = 0
+    for seg, batch in enumerate(plan):
+        batch = int(batch)
+        if seg > start and terms + batch > target_terms:
+            spans.append((start, seg))
+            start = seg
+            terms = 0
+        terms += batch
+    spans.append((start, n_seg))
+    return spans
+
+
+def build_iteration_plans(sampler: PairSampler, workspace: UpdateWorkspace,
+                          merge: str, plan: List[int], n_streams: int,
+                          memory_budget: Optional[int] = None,
+                          ) -> List["FusedIterationPlan"]:
+    """One :class:`FusedIterationPlan` per budget chunk, in plan order.
+
+    The chunked analogue of building a single whole-iteration plan: with no
+    budget the returned list holds exactly one plan over the full batch plan
+    (identical dispatch economics to PR 5), with a budget each chunk gets
+    its *own* plan object — and therefore its own :attr:`cache`, because
+    backends stash chunk-shaped derived state there (the numba arg tuple
+    embeds the chunk's plan array and call counts). All chunks share the
+    caller's workspace *and* one :attr:`scratch` dict: chunks run strictly
+    sequentially, so chunk-invariant derived state — device copies of the
+    selection arrays, the re-laid draws buffer sized to the widest chunk —
+    lives once per run, not once per chunk. Without the shared scratch the
+    per-chunk caches would collectively re-materialise the whole
+    iteration's footprint, defeating the budget.
+
+    Per-iteration usage is one ``rng.next_double_block(chunk.calls_per_iteration)``
+    + ``backend.run_iteration(chunk, ...)`` per chunk, in order. The bulk
+    draw is interchangeable mid-stream (see ``next_double_block``), so the
+    sequential per-chunk draws consume exactly the stream state one
+    whole-iteration draw would have — chunked execution is byte-identical
+    to unchunked on the NumPy backend.
+    """
+    plan = [int(b) for b in plan]
+    spans = chunk_spans(plan, memory_budget)
+    if not spans:
+        spans = [(0, 0)]
+    scratch: Dict[str, object] = {}
+    return [
+        FusedIterationPlan(sampler=sampler, workspace=workspace, merge=merge,
+                           plan=plan[start:end], n_streams=n_streams,
+                           scratch=scratch)
+        for start, end in spans
+    ]
+
+
 @dataclass
 class FusedIterationStats:
     """Aggregate counters one fused iteration hands back to the engine."""
@@ -115,10 +218,16 @@ class FusedIterationStats:
 class FusedIterationPlan:
     """Everything a backend needs to run whole iterations without the engine.
 
-    Built once per :meth:`LayoutEngine.run` and passed to every
-    ``backend.run_iteration`` call of the run; backends may stash per-run
-    derived state (device copies of the selection arrays, compiled kernels)
-    in :attr:`cache` keyed by their name.
+    Built once per :meth:`LayoutEngine.run` (one per budget chunk) and
+    passed to every ``backend.run_iteration`` call of the run. Backends may
+    stash derived state in two places, split by what it depends on:
+
+    * :attr:`cache` — *chunk-shaped* state (the numba arg pair embedding
+      this plan's segment array and call counts). Private to this plan.
+    * :attr:`scratch` — *chunk-invariant* state (device copies of the
+      selection arrays, the re-laid draws buffer). Shared by every chunk of
+      one :func:`build_iteration_plans` call; since chunks run sequentially
+      this keeps cached state O(chunk + graph) instead of O(iteration).
     """
 
     sampler: PairSampler
@@ -129,6 +238,7 @@ class FusedIterationPlan:
     need_calls: np.ndarray = field(init=False)
     calls_per_iteration: int = field(init=False)
     cache: Dict[str, object] = field(default_factory=dict)
+    scratch: Dict[str, object] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         self.plan = [int(b) for b in self.plan]
@@ -156,19 +266,19 @@ class FusedIterationPlan:
         touching host memory.
         """
         key = f"arrays/{backend.name}"
-        arrays = self.cache.get(key)
+        arrays = self.scratch.get(key)
         if arrays is None:
             host = self.host_arrays
             if backend.asarray(host.cum_steps) is host.cum_steps:
                 arrays = host
             else:
                 arrays = SelectionArrays(*(backend.asarray(a) for a in host))
-            self.cache[key] = arrays
+            self.scratch[key] = arrays
         return arrays
 
 
 def iteration_draws(uniforms, plan: List[int], need_calls: np.ndarray,
-                    n_streams: int, xp=np):
+                    n_streams: int, xp=np, out=None):
     """Re-lay the megablock into one ``(8, total_terms)`` selection block.
 
     Segment ``s``'s unfused draws are
@@ -177,9 +287,19 @@ def iteration_draws(uniforms, plan: List[int], need_calls: np.ndarray,
     segments into a single reshape/transpose (the common plan is uniform
     batches plus one remainder, so an iteration re-lays in ~2 array ops).
     Every element keeps its per-segment value — the transform is pure layout.
+
+    ``out``, when given, must be a ``(SAMPLE_VECTORS, total_terms)`` float64
+    array in ``xp``'s namespace; it is filled and returned instead of
+    allocating. :func:`run_iteration_host` passes a view of the chunk-shared
+    scratch buffer, so steady-state iterations allocate nothing here (the
+    PR 2 zero steady-state-allocation contract).
     """
-    total_terms = sum(plan)
-    out = xp.empty((SAMPLE_VECTORS, total_terms), dtype=np.float64)
+    n_terms = sum(int(b) for b in plan)
+    if out is None:
+        out = xp.empty((SAMPLE_VECTORS, n_terms), dtype=np.float64)  # alloc-ok: fallback for direct callers only; the fused run path passes the chunk-shared scratch buffer
+    elif out.shape != (SAMPLE_VECTORS, n_terms):
+        raise ValueError(
+            f"out must have shape {(SAMPLE_VECTORS, n_terms)}, got {out.shape}")
     n_seg = len(plan)
     seg = 0
     row = 0
@@ -232,15 +352,28 @@ def run_iteration_host(backend, plan: FusedIterationPlan, coords,
         xp = backend.xp
         arrays = plan.device_arrays(backend)
         uniforms = backend.asarray(uniforms)
-        draws = iteration_draws(uniforms, plan.plan, plan.need_calls,
-                                plan.n_streams, xp=xp)
+        draws_key = f"draws/{backend.name}"
+        draws_xp = xp
     else:
         xp = None
         arrays = None
-        draws = iteration_draws(uniforms, plan.plan, plan.need_calls,
-                                plan.n_streams)
-    total_terms = draws.shape[1]
-    terms = sampler.select_from_uniforms(draws, total_terms, iteration,
+        draws_key = "draws/host"
+        draws_xp = np
+    n_terms = sum(plan.plan)  # this plan's terms: one budget chunk, not the iteration
+    buf = plan.scratch.get(draws_key)
+    if buf is None or buf.shape[1] < n_terms:
+        # Grown to the widest chunk during the first iteration, then reused
+        # by every chunk of every later one — the scratch is shared across
+        # the run's chunk plans (they execute sequentially), so the cached
+        # draws state totals one chunk, not the whole iteration. Hoisting
+        # this (8, n_terms) block out of the per-iteration path is what
+        # keeps fused steady-state allocation-free.
+        buf = draws_xp.empty((SAMPLE_VECTORS, n_terms), dtype=np.float64)  # alloc-ok: warm-up allocation; kept in the chunk-shared scratch and reused by later chunks and iterations
+        plan.scratch[draws_key] = buf
+    out = buf if buf.shape[1] == n_terms else buf[:, :n_terms]
+    draws = iteration_draws(uniforms, plan.plan, plan.need_calls,
+                            plan.n_streams, xp=draws_xp, out=out)
+    terms = sampler.select_from_uniforms(draws, n_terms, iteration,
                                          xp=xp, arrays=arrays)
     n_collisions = 0
     offset = 0
@@ -250,5 +383,5 @@ def run_iteration_host(backend, plan: FusedIterationPlan, coords,
         _, collisions = merge_batch(coords, segment, eta, plan.merge,
                                     plan.workspace)
         n_collisions += collisions
-    return FusedIterationStats(n_terms=total_terms,
+    return FusedIterationStats(n_terms=n_terms,
                                n_point_collisions=n_collisions)

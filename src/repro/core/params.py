@@ -12,11 +12,62 @@ are insensitive to the multiplier.
 """
 from __future__ import annotations
 
+import re
 import warnings
 from dataclasses import dataclass, fields, replace
-from typing import Optional
+from typing import Optional, Union
 
-__all__ = ["LayoutParams", "replace_params"]
+__all__ = ["LayoutParams", "parse_memory_budget", "replace_params"]
+
+#: Binary size-suffix multipliers accepted by :func:`parse_memory_budget`.
+#: ``KB``/``KiB``/``K`` are synonyms (1024 bytes), and so on through ``T``.
+_MEMORY_UNITS = {
+    "": 1,
+    "B": 1,
+    "K": 1024, "KB": 1024, "KIB": 1024,
+    "M": 1024 ** 2, "MB": 1024 ** 2, "MIB": 1024 ** 2,
+    "G": 1024 ** 3, "GB": 1024 ** 3, "GIB": 1024 ** 3,
+    "T": 1024 ** 4, "TB": 1024 ** 4, "TIB": 1024 ** 4,
+}
+
+_MEMORY_RE = re.compile(r"^\s*(\d+(?:\.\d+)?)\s*([A-Za-z]*)\s*$")
+
+
+def parse_memory_budget(value: Union[int, str, None]) -> Optional[int]:
+    """Normalise a memory budget to a positive byte count (or ``None``).
+
+    Accepts ``None`` (no budget), a positive ``int`` byte count, or a
+    human-readable string such as ``"64MB"``, ``"512KiB"``, ``"1.5g"`` or
+    plain ``"1048576"``. Suffixes are binary — ``K``/``KB``/``KiB`` all
+    mean 1024 bytes — because the budget sizes array allocations, not disk.
+    """
+    if value is None:
+        return None
+    if isinstance(value, bool):
+        raise ValueError("memory_budget must be None, a byte count or a "
+                         "size string such as '64MB'")
+    if isinstance(value, int):
+        budget = value
+    elif isinstance(value, str):
+        match = _MEMORY_RE.match(value)
+        if match is None:
+            raise ValueError(
+                f"invalid memory budget {value!r}: expected a byte count "
+                "with an optional K/M/G/T suffix, e.g. '64MB'")
+        number, unit = match.groups()
+        try:
+            scale = _MEMORY_UNITS[unit.upper()]
+        except KeyError:
+            raise ValueError(
+                f"invalid memory budget unit {unit!r} in {value!r}: "
+                "expected one of B, K[i]B, M[i]B, G[i]B, T[i]B") from None
+        budget = int(float(number) * scale)
+    else:
+        raise ValueError("memory_budget must be None, a byte count or a "
+                         "size string such as '64MB'")
+    if budget < 1:
+        raise ValueError("memory_budget must be a positive number of bytes")
+    return budget
 
 
 @dataclass(frozen=True)
@@ -91,6 +142,18 @@ class LayoutParams:
     their per-batch hooks keep firing. Fused and unfused layouts are
     byte-identical on the NumPy backend."""
 
+    memory_budget: Optional[Union[int, str]] = None
+    """Soft ceiling, in bytes, on the fused path's per-iteration transient
+    footprint. ``None`` (the default) keeps the historical behaviour: the
+    whole iteration's uniform megablock and selection block are materialised
+    at once (one backend dispatch per iteration). A budget makes the engine
+    split each iteration's batch plan into contiguous segment *chunks* sized
+    to fit (:func:`repro.core.fused.chunk_spans`) and dispatch once per
+    chunk; chunk boundaries are segment boundaries, so layouts stay
+    byte-identical on the NumPy backend for every budget. Accepts an ``int``
+    byte count or a size string (``"64MB"``), normalised to bytes by
+    :func:`parse_memory_budget` at construction."""
+
     levels: int = 1
     """Maximum depth of the multilevel coarsening hierarchy
     (:mod:`repro.multilevel`). ``1`` (the default) runs the flat engine
@@ -135,12 +198,23 @@ class LayoutParams:
             raise ValueError("backend must be None or a non-empty backend name")
         if self.fused is not None and not isinstance(self.fused, bool):
             raise ValueError("fused must be None (auto), True or False")
+        # Normalise "64MB"-style budgets to a byte count once, here, so every
+        # consumer (engine, shm workers, CLI echo) deals in plain ints.
+        object.__setattr__(self, "memory_budget",
+                           parse_memory_budget(self.memory_budget))
         if self.levels < 1:
             raise ValueError("levels must be >= 1")
         if self.coarsen_min_nodes < 1:
             raise ValueError("coarsen_min_nodes must be >= 1")
         if not 0.0 < self.level_iter_split < 1.0:
             raise ValueError("level_iter_split must lie strictly between 0 and 1")
+        # Reject the unsupported combination at construction time, so
+        # replace_params-built configs fail here with the same message the
+        # late layout_graph() check used to raise.
+        if self.workers > 1 and self.levels > 1:
+            raise ValueError(
+                "workers > 1 and levels > 1 cannot be combined yet; run the "
+                "multilevel driver single-process or the shm engine flat")
 
     def with_(self, **kwargs) -> "LayoutParams":
         """Return a copy with the given fields replaced (unknown names rejected)."""

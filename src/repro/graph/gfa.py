@@ -14,6 +14,15 @@ subset of GFA v1 that variation graphs use:
 Segment names may be arbitrary strings; they are mapped to dense integer node
 ids in input order, and the mapping is preserved on round-trip so layouts can
 be joined back to the original names.
+
+Parsing is single-pass with O(pending) transient memory: ``L``/``P`` records
+are resolved against the name map and applied to the graph as soon as they
+are read (GFA segments overwhelmingly precede their uses), and only *true
+forward references* — records naming a segment not yet declared — are
+spilled to a small list resolved once at end of input. Multi-GB GFA
+ingestion therefore never buffers the link/path lines of the whole file.
+Records that forward-reference are applied at end of input, after every
+eagerly-resolved record.
 """
 from __future__ import annotations
 
@@ -51,11 +60,25 @@ def parse_gfa_text(text: str) -> VariationGraph:
     return _parse_lines(io.StringIO(text))
 
 
+def _add_path_checked(graph: VariationGraph, path_name: str,
+                      id_steps: List[Tuple[int, bool]]) -> None:
+    try:
+        graph.add_path(path_name, id_steps)
+    except ValueError as exc:  # e.g. duplicate path names
+        raise GFAError(f"invalid path '{path_name}': {exc}") from exc
+
+
 def _parse_lines(handle: Iterable[str]) -> VariationGraph:
     graph = VariationGraph()
     name_to_id: Dict[str, int] = {}
-    pending_links: List[Tuple[str, bool, str, bool]] = []
-    pending_paths: List[Tuple[str, List[Tuple[str, bool]]]] = []
+    # True forward references only. L/P records whose segment names all
+    # resolve are applied immediately; a record naming a not-yet-declared
+    # segment is spilled here and resolved once at end of input. Transient
+    # memory is therefore O(pending), not O(file) — the historical
+    # implementation buffered every L/P line's string tuples until EOF,
+    # which at multi-GB GFA scale dwarfed the graph itself.
+    spilled_links: List[Tuple[str, bool, str, bool]] = []
+    spilled_paths: List[Tuple[str, List[Tuple[str, bool]]]] = []
 
     for lineno, raw in enumerate(handle, start=1):
         line = raw.rstrip("\n")
@@ -79,23 +102,38 @@ def _parse_lines(handle: Iterable[str]) -> VariationGraph:
         elif tag == "L":
             if len(fields) < 5:
                 raise GFAError(f"line {lineno}: L line needs 5 fields")
-            pending_links.append(
-                (fields[1], fields[2] == "-", fields[3], fields[4] == "-")
-            )
             if fields[2] not in "+-" or fields[4] not in "+-":
                 raise GFAError(f"line {lineno}: invalid orientation in L line")
+            from_name, from_rev = fields[1], fields[2] == "-"
+            to_name, to_rev = fields[3], fields[4] == "-"
+            from_id = name_to_id.get(from_name)
+            to_id = name_to_id.get(to_name)
+            if from_id is None or to_id is None:
+                spilled_links.append((from_name, from_rev, to_name, to_rev))
+            else:
+                graph.add_edge(from_id, to_id, from_rev, to_rev)
         elif tag == "P":
             if len(fields) < 3:
                 raise GFAError(f"line {lineno}: P line needs name and steps")
             steps = _parse_path_steps(fields[2], lineno)
-            pending_paths.append((fields[1], steps))
+            id_steps: List[Tuple[int, bool]] = []
+            for step_name, rev in steps:
+                step_id = name_to_id.get(step_name)
+                if step_id is None:
+                    id_steps = None  # type: ignore[assignment]
+                    break
+                id_steps.append((step_id, rev))
+            if id_steps is None:
+                spilled_paths.append((fields[1], steps))
+            else:
+                _add_path_checked(graph, fields[1], id_steps)
         elif tag in ("W", "C", "J"):
             # Walks / containments / jumps are valid GFA but unused by layout.
             continue
         else:
             raise GFAError(f"line {lineno}: unknown record type '{tag}'")
 
-    for from_name, from_rev, to_name, to_rev in pending_links:
+    for from_name, from_rev, to_name, to_rev in spilled_links:
         try:
             graph.add_edge(
                 name_to_id[from_name], name_to_id[to_name], from_rev, to_rev
@@ -103,17 +141,14 @@ def _parse_lines(handle: Iterable[str]) -> VariationGraph:
         except KeyError as exc:
             raise GFAError(f"link references unknown segment {exc}") from exc
 
-    for path_name, steps in pending_paths:
+    for path_name, steps in spilled_paths:
         try:
-            graph.add_path(
-                path_name, [(name_to_id[n], rev) for n, rev in steps]
-            )
+            resolved = [(name_to_id[n], rev) for n, rev in steps]
         except KeyError as exc:
             raise GFAError(
                 f"path '{path_name}' references unknown segment {exc}"
             ) from exc
-        except ValueError as exc:  # e.g. duplicate path names
-            raise GFAError(f"invalid path '{path_name}': {exc}") from exc
+        _add_path_checked(graph, path_name, resolved)
 
     graph.segment_names = {v: k for k, v in name_to_id.items()}  # type: ignore[attr-defined]
     return graph

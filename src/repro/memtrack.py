@@ -1,0 +1,100 @@
+"""Peak-memory accounting for layout runs and benchmarks.
+
+The chunked fused path (PR 8) turns memory into a gated quantity like wall
+time: a run's peak transient footprint must stay bounded by
+``LayoutParams.memory_budget`` instead of scaling with terms-per-iteration.
+This module is the measurement side of that contract, combining two
+complementary probes:
+
+* **traced peak** (``tracemalloc``) — machine-portable. NumPy routes array
+  buffer allocation through ``PyTraceMalloc_Track``, so the traced peak
+  captures the fused path's transient megablocks exactly, independent of
+  allocator reuse, OS page accounting, or whatever else the process mapped
+  before the run. Tracing costs real overhead, so layout engines only
+  *read* it when a caller (the ``scale`` bench suite, a test) already
+  switched tracing on — timing runs stay untraced.
+* **max RSS** (``resource.getrusage``) — the OS's resident high-water mark.
+  Free to read but monotonic per process and POSIX-only, so it is reported
+  as supporting evidence, never gated across machines.
+
+Kept dependency-free and importable from :mod:`repro.core` without cycles.
+"""
+from __future__ import annotations
+
+import sys
+import tracemalloc
+from typing import Optional
+
+try:  # pragma: no cover - resource is POSIX-only
+    import resource
+except ImportError:  # pragma: no cover
+    resource = None
+
+__all__ = ["PeakTracker", "max_rss_bytes"]
+
+# Linux reports ru_maxrss in kilobytes, macOS in bytes (getrusage(2)).
+_RU_MAXRSS_UNIT = 1 if sys.platform == "darwin" else 1024
+
+
+def max_rss_bytes() -> Optional[int]:
+    """Process resident-set high-water mark in bytes (None off-POSIX)."""
+    if resource is None:  # pragma: no cover - exercised on non-POSIX only
+        return None
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss) * _RU_MAXRSS_UNIT
+
+
+class PeakTracker:
+    """Measure the peak memory of a code region.
+
+    Usage::
+
+        with PeakTracker(trace=True) as mem:
+            result = engine.run()
+        mem.traced_peak_bytes   # allocation high-water delta over the region
+        mem.rss_peak_bytes      # process max RSS at region exit (monotonic)
+
+    ``trace`` controls the ``tracemalloc`` probe: ``True`` starts tracing
+    for the region (and stops it again if this tracker started it),
+    ``False`` never traces, and ``None`` — the engine default — piggybacks
+    on tracing only if a caller already enabled it, so plain runs pay no
+    tracing overhead. The traced figure is a *delta*: the peak is reset at
+    region entry, so pre-existing allocations (the graph, the coordinate
+    arrays) do not drown out the region's own transients. Trackers nest:
+    an inner region's reset only narrows what an outer tracker attributes
+    to the span before its own exit, and the outer baseline is unaffected.
+    """
+
+    def __init__(self, trace: Optional[bool] = None):
+        self.trace = trace
+        self.traced_peak_bytes: Optional[int] = None
+        self.rss_peak_bytes: Optional[int] = None
+        self._tracing = False
+        self._started_tracing = False
+        self._baseline = 0
+
+    def start(self) -> "PeakTracker":
+        self._tracing = (tracemalloc.is_tracing() if self.trace is None
+                         else bool(self.trace))
+        if self._tracing:
+            if not tracemalloc.is_tracing():
+                tracemalloc.start()
+                self._started_tracing = True
+            tracemalloc.reset_peak()
+            self._baseline = tracemalloc.get_traced_memory()[0]
+        return self
+
+    def stop(self) -> "PeakTracker":
+        if self._tracing and tracemalloc.is_tracing():
+            _, peak = tracemalloc.get_traced_memory()
+            self.traced_peak_bytes = max(0, peak - self._baseline)
+            if self._started_tracing:
+                tracemalloc.stop()
+        self._tracing = False
+        self.rss_peak_bytes = max_rss_bytes()
+        return self
+
+    def __enter__(self) -> "PeakTracker":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -184,6 +184,12 @@ class MultilevelDriver:
             counters[f"level{level}_nodes"] = float(hierarchy.graphs[level].n_nodes)
             counters[f"level{level}_terms"] = float(result.total_terms)
             counters[f"level{level}_iterations"] = float(result.iterations)
+            # High-water counters carry max semantics across levels: the
+            # hierarchy's peak is its worst level, not the sum of levels.
+            for peak_key in ("peak_rss_bytes", "traced_peak_bytes", "fused_chunks"):
+                if peak_key in result.counters:
+                    counters[peak_key] = max(counters.get(peak_key, 0.0),
+                                             float(result.counters[peak_key]))
             current = result.layout
             if level > 0:
                 current = prolongate(

@@ -55,7 +55,7 @@ import numpy as np
 
 from ..core.base import LayoutResult
 from ..core.cpu_baseline import CpuBaselineEngine
-from ..core.fused import FusedIterationPlan, slice_plan
+from ..core.fused import build_iteration_plans, slice_plan
 from ..core.layout import Layout, initialize_layout
 from ..core.params import LayoutParams
 from ..core.selection import PairSampler, SelectionArrays
@@ -66,6 +66,7 @@ from ..prng.xoshiro import Xoshiro256Plus
 __all__ = [
     "SharedArrayBlock",
     "ShmHogwildEngine",
+    "budget_share",
     "worker_stream_states",
     "run_workers_inline",
     "resolve_start_method",
@@ -161,6 +162,24 @@ class SharedArrayBlock:
             self._owner = False
 
 
+def budget_share(memory_budget: Optional[int], workers: int) -> Optional[int]:
+    """Per-worker slice of the run's memory budget.
+
+    Workers run concurrently, so their transient footprints add up — each
+    worker chunks its sub-plan under ``memory_budget // workers`` so the
+    *sum* stays within the run's budget. ``None`` (no budget) passes
+    through; the share is floored at one byte, which
+    :func:`~repro.core.fused.chunk_spans` degrades to one segment per chunk
+    (the footprint floor). Chunking never moves a sampled term, so any
+    share keeps worker layouts byte-identical to their unbudgeted runs.
+    """
+    if memory_budget is None:
+        return None
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    return max(1, int(memory_budget) // int(workers))
+
+
 def worker_stream_states(base: Xoshiro256Plus, workers: int,
                          seed: int) -> List[np.ndarray]:
     """Per-worker Xoshiro256+ state blocks under the shm seed contract.
@@ -207,19 +226,29 @@ def _worker_main(worker_id: int, shm_name: str, manifest: Manifest,
         sampler = PairSampler.from_arrays(arrays, params, backend)
         rng = Xoshiro256Plus(stream_state)
         workspace = UpdateWorkspace(max(sub_plan), backend=backend)
-        plan = FusedIterationPlan(sampler=sampler, workspace=workspace,
-                                  merge=params.merge_policy, plan=sub_plan,
-                                  n_streams=rng.n_streams)
-        conn.send(("ready", worker_id))
+        # Each worker chunks its sub-plan under its share of the run budget
+        # (workers race concurrently, so shares must sum to the budget). The
+        # share is derived from params here rather than shipped as an extra
+        # spawn arg — every worker computes the same figure.
+        plans = build_iteration_plans(
+            sampler=sampler, workspace=workspace, merge=params.merge_policy,
+            plan=sub_plan, n_streams=rng.n_streams,
+            memory_budget=budget_share(params.memory_budget, params.workers))
+        conn.send(("ready", worker_id, len(plans)))
         while True:
             msg = conn.recv()
             if msg[0] == "stop":
                 break
             _, iteration, eta = msg
-            block_draws = rng.next_double_block(plan.calls_per_iteration)
-            stats = backend.run_iteration(plan, coords, block_draws, eta,
-                                          iteration)
-            conn.send((stats.n_terms, stats.n_point_collisions))
+            n_terms = 0
+            n_collisions = 0
+            for chunk in plans:
+                block_draws = rng.next_double_block(chunk.calls_per_iteration)  # mem-ok: chunk plans are bounded by the worker's budget share
+                stats = backend.run_iteration(chunk, coords, block_draws, eta,
+                                              iteration)
+                n_terms += stats.n_terms
+                n_collisions += stats.n_point_collisions
+            conn.send((n_terms, n_collisions))
     finally:
         conn.close()
         block.close()
@@ -296,9 +325,12 @@ class ShmHogwildEngine(CpuBaselineEngine):
                 child_conn.close()
                 procs.append(proc)
                 conns.append(parent_conn)
+            total_chunks = 0
             for conn in conns:
                 msg = conn.recv()
                 assert msg[0] == "ready"
+                total_chunks += msg[2]
+            self.max_counter("fused_chunks", float(total_chunks))
             t_ready = time.perf_counter()  # det-ok: reporting-only wall time, never feeds layout math
             self.add_counter("parallel_setup_s", t_ready - t_start)
             for iteration in range(params.iter_max):
@@ -313,7 +345,7 @@ class ShmHogwildEngine(CpuBaselineEngine):
                     n_collisions += collisions
                 total_terms += n_terms_iter
                 self.add_counter("point_collisions", float(n_collisions))
-                self.add_counter("update_dispatches", float(n_workers))
+                self.add_counter("update_dispatches", float(total_chunks))
             self.add_counter("parallel_iterate_s",
                              time.perf_counter() - t_ready)  # det-ok: reporting-only wall time, never feeds layout math
             for conn in conns:
@@ -367,26 +399,32 @@ class ShmHogwildEngine(CpuBaselineEngine):
                                       params.seed)
         coords = self.backend.from_host(layout.coords)
         rngs = [Xoshiro256Plus(state) for state in states]
-        plans = [
-            FusedIterationPlan(sampler=self.sampler,
-                               workspace=UpdateWorkspace(max(sub_plan),
-                                                         backend=self.backend),
-                               merge=params.merge_policy, plan=sub_plan,
-                               n_streams=rng.n_streams)
+        # Same decomposition the worker processes build: each worker's
+        # sub-plan chunked under its share of the run's memory budget.
+        share = budget_share(params.memory_budget, params.workers)
+        worker_plans = [
+            build_iteration_plans(sampler=self.sampler,
+                                  workspace=UpdateWorkspace(max(sub_plan),
+                                                            backend=self.backend),
+                                  merge=params.merge_policy, plan=sub_plan,
+                                  n_streams=rng.n_streams, memory_budget=share)
             for sub_plan, rng in zip(sub_plans, rngs)
         ]
+        total_chunks = sum(len(plans) for plans in worker_plans)
+        self.max_counter("fused_chunks", float(total_chunks))
         total_terms = 0
         for iteration in range(params.iter_max):
             eta = float(self.schedule[iteration])
             n_collisions = 0
-            for rng, fused_plan in zip(rngs, plans):
-                block = rng.next_double_block(fused_plan.calls_per_iteration)
-                stats = self.backend.run_iteration(fused_plan, coords, block,
-                                                   eta, iteration)
-                total_terms += stats.n_terms
-                n_collisions += stats.n_point_collisions
+            for rng, plans in zip(rngs, worker_plans):
+                for chunk in plans:
+                    block = rng.next_double_block(chunk.calls_per_iteration)  # mem-ok: chunk plans are bounded by the worker's budget share
+                    stats = self.backend.run_iteration(chunk, coords, block,
+                                                       eta, iteration)
+                    total_terms += stats.n_terms
+                    n_collisions += stats.n_point_collisions
             self.add_counter("point_collisions", float(n_collisions))
-            self.add_counter("update_dispatches", float(len(plans)))
+            self.add_counter("update_dispatches", float(total_chunks))
         self.add_counter("fused_iterations", float(params.iter_max))
         self.add_counter("effective_workers", float(len(sub_plans)))
         return LayoutResult(

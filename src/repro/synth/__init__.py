@@ -5,6 +5,7 @@ matching the paper's evaluation inputs (Table I's representative graphs and
 Table VI's 24-chromosome suite).
 """
 from .simulator import PangenomeConfig, simulate_pangenome, simulate_sequence
+from .scale import SCALE_GRAPH_SEED, scale_graph
 from .datasets import (
     DatasetSpec,
     PaperStats,
@@ -32,4 +33,6 @@ __all__ = [
     "load_dataset",
     "chromosome_suite",
     "small_graph_collection",
+    "SCALE_GRAPH_SEED",
+    "scale_graph",
 ]

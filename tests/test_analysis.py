@@ -196,6 +196,123 @@ class TestAlloc001:
         assert report.suppressed_by_pragma == 1
 
 
+class TestAlloc001PerIterationFunctions:
+    """PR 8 extension: per-iteration functions are whole-body steady state."""
+
+    FUNC_TOP_ALLOC = (
+        "import numpy as np\n"
+        "def iteration_draws(uniforms, plan, xp):\n"
+        "    out = xp.empty((8, 4))\n"
+        "    return out\n"
+    )
+
+    def test_function_top_alloc_flagged_without_a_loop(self, tmp_path):
+        found = findings_for(tmp_path,
+                             {"backend/draws.py": self.FUNC_TOP_ALLOC},
+                             rule="ALLOC001")
+        assert len(found) == 1
+        assert found[0].line == 3
+        assert "per-iteration function 'iteration_draws'" in found[0].message
+
+    def test_run_iteration_host_scanned_too(self, tmp_path):
+        text = self.FUNC_TOP_ALLOC.replace("def iteration_draws(",
+                                           "def run_iteration_host(")
+        found = findings_for(tmp_path, {"core/engine.py": text},
+                             rule="ALLOC001")
+        assert len(found) == 1
+
+    def test_other_function_names_stay_loop_scoped(self, tmp_path):
+        text = self.FUNC_TOP_ALLOC.replace("def iteration_draws(",
+                                           "def helper_draws(")
+        found = findings_for(tmp_path, {"backend/draws.py": text},
+                             rule="ALLOC001")
+        assert found == []
+
+    def test_loop_and_whole_body_findings_deduplicate(self, tmp_path):
+        text = (
+            "import numpy as np\n"
+            "def iteration_draws(plan, xp):\n"
+            "    for seg in plan:\n"
+            "        buf = xp.zeros(seg)\n"
+            "    return buf\n"
+        )
+        found = findings_for(tmp_path, {"core/fused.py": text},
+                             rule="ALLOC001")
+        assert len(found) == 1  # one site, one finding — not loop + body
+
+    def test_alloc_ok_pragma_suppresses_whole_body_finding(self, tmp_path):
+        text = self.FUNC_TOP_ALLOC.replace(
+            "out = xp.empty((8, 4))",
+            "out = xp.empty((8, 4))  # alloc-ok: grow-on-demand scratch")
+        write_tree(tmp_path, {"backend/draws.py": text})
+        report = run_analysis([str(tmp_path)])
+        assert [f for f in report.findings if f.rule == "ALLOC001"] == []
+        assert report.suppressed_by_pragma == 1
+
+
+class TestMem001:
+    ITER_SCALE_ALLOC = (
+        "import numpy as np\n"
+        "def draws(total_terms, xp):\n"
+        "    return xp.empty((8, total_terms))\n"
+    )
+
+    def test_iteration_scale_alloc_in_hot_dir_flagged(self, tmp_path):
+        found = findings_for(tmp_path,
+                             {"core/fused.py": self.ITER_SCALE_ALLOC},
+                             rule="MEM001")
+        assert len(found) == 1
+        assert found[0].severity == "warning"
+        assert "total_terms" in found[0].message
+        assert "memory_budget" in found[0].message
+
+    def test_bulk_prng_draw_sized_by_iteration_flagged(self, tmp_path):
+        found = findings_for(tmp_path, {
+            "prng/streams.py": (
+                "def block(rng, plan):\n"
+                "    return rng.next_double_block(plan.calls_per_iteration)\n"
+            ),
+        }, rule="MEM001")
+        assert len(found) == 1
+        assert "calls_per_iteration" in found[0].message
+
+    def test_attribute_spelling_of_scale_name_flagged(self, tmp_path):
+        found = findings_for(tmp_path, {
+            "backend/x.py": (
+                "import numpy as np\n"
+                "def stage(result, xp):\n"
+                "    return xp.zeros(result.terms_per_iteration)\n"
+            ),
+        }, rule="MEM001")
+        assert len(found) == 1
+
+    def test_chunk_sized_alloc_clean(self, tmp_path):
+        found = findings_for(tmp_path, {
+            "core/fused.py": (
+                "import numpy as np\n"
+                "def draws(chunk_terms, xp):\n"
+                "    return xp.empty((8, chunk_terms))\n"
+            ),
+        }, rule="MEM001")
+        assert found == []
+
+    def test_outside_hot_path_dirs_clean(self, tmp_path):
+        found = findings_for(tmp_path,
+                             {"bench/cases/big.py": self.ITER_SCALE_ALLOC},
+                             rule="MEM001")
+        assert found == []
+
+    def test_mem_ok_pragma_suppresses(self, tmp_path):
+        text = self.ITER_SCALE_ALLOC.replace(
+            "return xp.empty((8, total_terms))",
+            "return xp.empty((8, total_terms))  "
+            "# mem-ok: plan is budget-bounded by build_iteration_plans")
+        write_tree(tmp_path, {"core/fused.py": text})
+        report = run_analysis([str(tmp_path)])
+        assert [f for f in report.findings if f.rule == "MEM001"] == []
+        assert report.suppressed_by_pragma >= 1
+
+
 class TestXp001:
     def test_np_call_in_backend_function_flagged(self, tmp_path):
         found = findings_for(tmp_path, {

@@ -232,6 +232,37 @@ class TestFusedConformance:
             # ...while hook-overriding engines are required to fall back.
             assert fused.counters["fused_iterations"] == 0.0
 
+    @pytest.mark.parametrize("budget", (1, "64MB"))
+    def test_memory_budget_preserves_layout(self, conf_graph, engine_kind,
+                                            merge, backend_name, budget):
+        """Chunked megablock (PR 8): the budget is an execution knob only.
+
+        A 1-byte budget forces one chunk per segment — the maximally
+        chunked schedule — while "64MB" covers the whole iteration and
+        must degrade to the single unchunked dispatch. Both must leave the
+        layout untouched: ≤1e-9 everywhere, byte-identical on NumPy.
+        """
+        _backend_or_skip(backend_name)
+        params = _params(merge, backend_name).with_(fused=True)
+        unbudgeted = _default_engine(engine_kind, conf_graph, params).run()
+        budgeted = _default_engine(
+            engine_kind, conf_graph,
+            params.with_(memory_budget=budget)).run()
+        assert budgeted.total_terms == unbudgeted.total_terms
+        np.testing.assert_allclose(budgeted.layout.coords,
+                                   unbudgeted.layout.coords,
+                                   atol=ATOL, rtol=0)
+        if backend_name == "numpy":
+            np.testing.assert_array_equal(budgeted.layout.coords,
+                                          unbudgeted.layout.coords)
+        if engine_kind == "cpu" and budget == 1:
+            # Not vacuous: a 1-byte budget yields exactly one chunk per
+            # batch-plan segment (chunking never splits inside a segment).
+            engine = _default_engine(engine_kind, conf_graph, params)
+            plan = engine.batch_plan(
+                engine.params.steps_per_iteration(conf_graph.total_steps))
+            assert budgeted.counters["fused_chunks"] == len(plan)
+
 
 @pytest.mark.parametrize("backend_name", BACKENDS)
 @pytest.mark.parametrize("merge", MERGES)

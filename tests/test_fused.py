@@ -229,8 +229,10 @@ class TestRunIterationContract:
         got = base.copy()
         run_iteration_host(Deviceish(), fplan, got, block, 0.5, 0)
         np.testing.assert_array_equal(got, expect)
-        # The device bundle was cached on the plan under the backend's name.
-        assert f"arrays/{backend.name}" in fplan.cache
+        # The device bundle was cached in the chunk-shared scratch under the
+        # backend's name (PR 8: uploaded once per run, not once per chunk).
+        assert f"arrays/{backend.name}" in fplan.scratch
+        assert f"arrays/{backend.name}" not in fplan.cache
 
 
 # ---------------------------------------------------------------------------

@@ -95,6 +95,65 @@ def test_fused_equals_unfused_on_random_graphs(graph_seed, backbone, paths,
 
 
 @given(
+    graph_seed=st.integers(min_value=0, max_value=7),
+    backbone=st.integers(min_value=12, max_value=60),
+    paths=st.integers(min_value=2, max_value=4),
+    bubble_pct=st.integers(min_value=0, max_value=20),
+    loop_pct=st.integers(min_value=0, max_value=15),
+    merge=st.sampled_from(["hogwild", "accumulate", "last_writer"]),
+    engine_seed=st.integers(min_value=0, max_value=2**31 - 1),
+    iter_max=st.integers(min_value=1, max_value=3),
+    # 1 byte forces one-segment chunks (budget < any segment); huge budgets
+    # degrade to the unchunked single dispatch; the middle draws arbitrary
+    # chunk geometries in between.
+    budget=st.one_of(st.just(1), st.just("1GB"),
+                     st.integers(min_value=256, max_value=1 << 20)),
+)
+@FUSED_SETTINGS
+def test_memory_budget_never_moves_layout(graph_seed, backbone, paths,
+                                          bubble_pct, loop_pct, merge,
+                                          engine_seed, iter_max, budget):
+    """Chunked ≡ unchunked, bit for bit, for *every* budget (PR 8 tentpole)."""
+    graph = _graph_for(graph_seed, backbone, paths, bubble_pct, loop_pct)
+    params = LayoutParams(
+        iter_max=iter_max,
+        steps_per_step_unit=1.0,
+        seed=engine_seed,
+        merge_policy=merge,
+        backend="numpy",
+        fused=True,
+    )
+    unchunked = CpuBaselineEngine(graph, params).run()
+    chunked = CpuBaselineEngine(graph,
+                                params.with_(memory_budget=budget)).run()
+    assert chunked.total_terms == unchunked.total_terms
+    np.testing.assert_array_equal(chunked.layout.coords,
+                                  unchunked.layout.coords)
+
+
+@given(
+    engine_seed=st.integers(min_value=0, max_value=2**31 - 1),
+    workers=st.sampled_from([2, 3]),
+    budget=st.sampled_from([1, 4096, "64MB"]),
+)
+@settings(deadline=None, max_examples=10,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_memory_budget_never_moves_worker_sliced_layout(engine_seed, workers,
+                                                        budget):
+    """Per-worker budget shares keep the deterministic shm schedule intact."""
+    from repro.parallel.shm import run_workers_inline
+
+    graph = _graph_for(1, 30, 3, 10, 5)
+    params = LayoutParams(iter_max=2, steps_per_step_unit=1.0,
+                          seed=engine_seed, backend="numpy", fused=True,
+                          workers=workers)
+    unchunked = run_workers_inline(graph, params)
+    chunked = run_workers_inline(graph, params.with_(memory_budget=budget))
+    np.testing.assert_array_equal(chunked.layout.coords,
+                                  unchunked.layout.coords)
+
+
+@given(
     merge=st.sampled_from(["hogwild", "accumulate", "last_writer"]),
     engine_seed=st.integers(min_value=0, max_value=2**31 - 1),
 )
