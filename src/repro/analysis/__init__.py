@@ -17,6 +17,12 @@ XP001     xp-ok       xp/backend-parameterised functions dispatch array
                       math through the backend, never raw ``np.`` (PR 3)
 SHM001    shm-ok      ``SharedArrayBlock`` create/attach/close/unlink
                       ownership discipline (PR 6)
+MEM001    mem-ok      per-iteration transient footprint stays bounded by
+                      ``memory_budget``, never scaling with iteration
+                      size (PR 8)
+OBS001    obs-ok      hot-path clock reads route through the
+                      ``repro.obs.clock`` seam, never raw ``time.*``
+                      (PR 9)
 PRAGMA001 —           every pragma carries a mandatory reason
 ========  ==========  ====================================================
 

@@ -1,4 +1,4 @@
 """Built-in contract checkers; importing this package registers them all."""
-from . import alloc, determinism, dispatch, memory, shm  # noqa: F401
+from . import alloc, determinism, dispatch, memory, obs, shm  # noqa: F401
 
-__all__ = ["alloc", "determinism", "dispatch", "memory", "shm"]
+__all__ = ["alloc", "determinism", "dispatch", "memory", "obs", "shm"]

@@ -1,0 +1,57 @@
+"""OBS001 — the observability clock-seam contract.
+
+PR 9 gave the repo exactly one sanctioned monotonic-clock seam:
+:mod:`repro.obs.clock`. Every hot-path timing read routes through it, which
+is what lets tests stub the clock (structure-determinism assertions), the
+tracer attribute spans consistently, and the determinism story stay
+auditable — a raw ``time.perf_counter()`` in ``core/`` is a read the stub
+can't see and the tracer can't own.
+
+**OBS001** flags direct wall-clock reads (the :data:`~repro.analysis
+.checkers.determinism.WALLCLOCK_EXACT` family) inside the hot-path
+directories. Unlike the pre-PR 9 world — where such sites carried
+``# det-ok`` pragmas declaring themselves reporting-only — the sanctioned
+fix is now mechanical: call ``repro.obs.clock.perf_counter()`` /
+``monotonic()`` instead (alias-resolution in :mod:`repro.analysis.astutil`
+means ``from ..obs import clock as obs_clock`` call sites never match the
+raw ``time.*`` names). ``# obs-ok: <reason>`` remains for the genuinely
+exceptional site. Complementary to DET001's wall-clock arm: DET001 polices
+*why* a clock is read (never feeding layout math), OBS001 polices *how*
+(through the seam).
+"""
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from ..astutil import dotted_name, qualified_call_name
+from ..registry import Finding, checker
+from ..source import SourceFile
+from .determinism import WALLCLOCK_EXACT
+
+__all__ = ["check_obs001"]
+
+
+@checker("OBS001", pragma="obs-ok", severity="error", scope="file")
+def check_obs001(src: SourceFile) -> List[Finding]:
+    """Hot-path clock reads bypassing the ``repro.obs.clock`` seam."""
+    if not src.in_hot_path_dir():
+        return []
+    out: List[Finding] = []
+    for node in ast.walk(src.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        qual = qualified_call_name(node.func, src.aliases)
+        if qual is None or qual not in WALLCLOCK_EXACT:
+            continue
+        shown = dotted_name(node.func) or qual
+        out.append(Finding(
+            rule="OBS001", path=src.rel, line=node.lineno,
+            col=node.col_offset, severity="error",
+            message=(f"raw clock read '{shown}()' in a hot-path module — "
+                     "route timing through the repro.obs.clock seam "
+                     "(obs_clock.perf_counter()/monotonic()) so traces stay "
+                     "stub-able and phase attribution stays consistent; a "
+                     "genuinely exceptional site needs '# obs-ok: <reason>'"),
+            snippet=src.snippet(node.lineno)))
+    return out

@@ -75,18 +75,24 @@ def _profile_case(case: BenchCase, ctx: BenchContext, directory: str) -> str:
     :data:`_PROFILE_TOP` functions) — enough to see *where* a dispatch
     regression lives (per-batch sampler round trips, PRNG call loops,
     backend seam crossings) straight from a CI artifact, without rerunning
-    anything locally.
+    anything locally — plus the profiled run's peak RSS
+    (:class:`repro.memtrack.PeakTracker`), so a memory blow-up shows in the
+    same forensics file as the time ranking.
     """
     import cProfile
     import io
     import pstats
 
+    from ..memtrack import PeakTracker
+
     profiler = cProfile.Profile()
+    mem = PeakTracker(trace=False).start()
     profiler.enable()
     try:
         case.run(ctx)
     finally:
         profiler.disable()
+        mem.stop()
     buffer = io.StringIO()
     stats = pstats.Stats(profiler, stream=buffer)
     stats.sort_stats("cumulative").print_stats(_PROFILE_TOP)
@@ -95,6 +101,10 @@ def _profile_case(case: BenchCase, ctx: BenchContext, directory: str) -> str:
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(f"cProfile summary: case={case.name} "
                      f"(top {_PROFILE_TOP} by cumulative time)\n")
+        if mem.rss_peak_bytes is not None:
+            handle.write(f"peak RSS: {mem.rss_peak_bytes} bytes "
+                         f"({mem.rss_peak_bytes / 2**20:.1f} MiB, process "
+                         "high-water)\n")
         handle.write(buffer.getvalue())
     return path
 

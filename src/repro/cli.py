@@ -1,6 +1,6 @@
 """Command-line interface: ``repro``.
 
-Two subcommands:
+Subcommands:
 
 * ``repro layout`` — read a GFA (or generate a named synthetic dataset), run
   the chosen engine, write the layout and optionally an SVG rendering, and
@@ -14,10 +14,14 @@ Two subcommands:
   nonzero on regressions beyond a threshold; ``list`` shows registered cases.
 * ``repro analyze`` — the AST-based contract linter (:mod:`repro.analysis`):
   checks the determinism (DET001/DET002), zero-alloc (ALLOC001),
-  memory-ceiling (MEM001), backend-dispatch (XP001) and shm-lifecycle
-  (SHM001) invariants over the given paths and exits nonzero on violations
-  (``--strict`` also fails on warnings and stale baseline entries — the CI
-  configuration).
+  memory-ceiling (MEM001), backend-dispatch (XP001), shm-lifecycle
+  (SHM001) and clock-seam (OBS001) invariants over the given paths and
+  exits nonzero on violations (``--strict`` also fails on warnings and
+  stale baseline entries — the CI configuration).
+* ``repro trace`` — run-telemetry tooling over the JSONL traces that
+  ``repro layout --trace out.jsonl`` (or ``LayoutParams(trace=...)``)
+  records: ``summarize`` prints the per-phase time breakdown of one trace,
+  ``compare`` diffs two traces phase by phase.
 
 For backward compatibility, invoking the CLI with the historical flat
 ``repro-layout`` flags (no subcommand) still works: ``repro --gfa in.gfa``
@@ -38,7 +42,8 @@ from .render import save_svg
 from .synth import REPRESENTATIVE_SPECS, load_dataset
 
 __all__ = ["main", "build_parser", "build_bench_parser", "build_analyze_parser",
-           "bench_main", "layout_main", "analyze_main"]
+           "build_trace_parser", "bench_main", "layout_main", "analyze_main",
+           "trace_main"]
 
 
 class _DeprecatedThreadsAction(argparse.Action):
@@ -129,6 +134,15 @@ def build_parser() -> argparse.ArgumentParser:
                              "unbudgeted run on the numpy backend (workers "
                              "split the budget evenly; default: no budget, "
                              "one dispatch per iteration)")
+    parser.add_argument("--trace", default=None, metavar="OUT.JSONL",
+                        help="record the run's span trace (schema-versioned "
+                             "JSONL; one merged, ordered file even for "
+                             "--workers > 1 and --levels > 1 runs — inspect "
+                             "it with 'repro trace summarize')")
+    parser.add_argument("--progress", action="store_true",
+                        help="render live per-iteration progress on stderr "
+                             "(the on_progress callback API, drawn as an "
+                             "updating one-line status)")
     parser.add_argument("--out-lay", help="write the layout to a .lay binary file")
     parser.add_argument("--out-tsv", help="write the layout to a TSV file")
     parser.add_argument("--out-svg", help="render the layout to an SVG file")
@@ -137,6 +151,25 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-validate", action="store_true",
                         help="skip structural validation of the input graph")
     return parser
+
+
+def _progress_line(completed: int, total: int, stats) -> None:
+    """Render one live-progress update (the ``--progress`` callback).
+
+    Draws a carriage-return-refreshed status line on stderr — stdout stays
+    reserved for the machine-readable summary output.
+    """
+    pct = 100.0 * completed / max(total, 1)
+    extra = ""
+    if "level" in stats:
+        extra += f" level={stats['level']}"
+    if "workers" in stats:
+        extra += f" workers={stats['workers']}"
+    sys.stderr.write(
+        f"\r[{pct:5.1f}%] iteration {completed}/{total} "
+        f"eta={stats.get('eta', 0.0):.3g} terms={stats.get('terms', 0)}"
+        f"{extra}  ")
+    sys.stderr.flush()
 
 
 def layout_main(argv: Optional[Sequence[str]] = None) -> int:
@@ -172,6 +205,7 @@ def layout_main(argv: Optional[Sequence[str]] = None) -> int:
         graph,
         engine=engine,
         gpu_config=GpuKernelConfig() if engine == "gpu" else None,
+        on_progress=_progress_line if args.progress else None,
         iter_max=args.iter_max,
         steps_per_step_unit=args.steps_factor,
         seed=args.seed,
@@ -183,7 +217,12 @@ def layout_main(argv: Optional[Sequence[str]] = None) -> int:
         memory_budget=args.memory_budget,
         levels=args.levels,
         level_iter_split=args.level_split,
+        trace=args.trace,
     )
+    if args.progress:
+        print(file=sys.stderr)  # finish the live line before the summary
+    if args.trace:
+        print(f"wrote run trace to {args.trace}")
     summary = result.summary()
     print(f"layout complete in {summary['wall_time_s']:.2f}s "
           f"({summary['total_terms']} update terms, "
@@ -319,8 +358,8 @@ def build_analyze_parser() -> argparse.ArgumentParser:
         prog="repro analyze",
         description="AST-based contract linter: determinism (DET001/DET002), "
                     "zero-alloc hot loops (ALLOC001), bounded iteration "
-                    "memory (MEM001), backend dispatch (XP001) and shm "
-                    "lifecycle (SHM001)",
+                    "memory (MEM001), backend dispatch (XP001), shm "
+                    "lifecycle (SHM001) and the obs clock seam (OBS001)",
     )
     parser.add_argument("paths", nargs="*", default=["src"],
                         help="files or directories to analyze (default: src)")
@@ -377,8 +416,49 @@ def analyze_main(argv: Optional[Sequence[str]] = None) -> int:
         return 2
 
 
+def build_trace_parser() -> argparse.ArgumentParser:
+    """Construct the ``repro trace`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro trace",
+        description="Inspect JSONL run traces recorded by "
+                    "'repro layout --trace' / LayoutParams(trace=...)",
+    )
+    sub = parser.add_subparsers(dest="trace_command", required=True)
+
+    sum_p = sub.add_parser("summarize",
+                           help="per-phase time breakdown of one trace")
+    sum_p.add_argument("trace", help="trace JSONL file")
+
+    cmp_p = sub.add_parser("compare",
+                           help="phase-by-phase diff of two traces")
+    cmp_p.add_argument("old", help="baseline trace JSONL file")
+    cmp_p.add_argument("new", help="candidate trace JSONL file")
+    return parser
+
+
+def trace_main(argv: Optional[Sequence[str]] = None) -> int:
+    """``repro trace`` entry point; returns the process exit code."""
+    from .obs.summarize import render_compare, render_summary
+    from .obs.trace_file import TraceSchemaError, read_trace
+
+    args = build_trace_parser().parse_args(argv)
+    try:
+        if args.trace_command == "summarize":
+            print(render_summary(read_trace(args.trace), source=args.trace))
+            return 0
+        if args.trace_command == "compare":
+            print(render_compare(read_trace(args.old), read_trace(args.new)))
+            return 0
+    except BrokenPipeError:
+        return 0
+    except (TraceSchemaError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    raise AssertionError("unreachable")
+
+
 #: Subcommands of the top-level ``repro`` program.
-_COMMANDS = ("layout", "bench", "analyze")
+_COMMANDS = ("layout", "bench", "analyze", "trace")
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -393,6 +473,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return bench_main(args[1:])
     if args and args[0] == "analyze":
         return analyze_main(args[1:])
+    if args and args[0] == "trace":
+        return trace_main(args[1:])
     if args and args[0] == "layout":
         return layout_main(args[1:])
     if args and args[0] in ("-h", "--help") and argv is None:

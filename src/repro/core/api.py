@@ -11,7 +11,7 @@ from typing import Optional, Union
 
 from ..graph.lean import LeanGraph
 from ..graph.variation_graph import VariationGraph
-from .base import LayoutResult
+from .base import LayoutResult, ProgressCallback
 from .batch_engine import BatchedLayoutEngine
 from .cpu_baseline import CpuBaselineEngine, SerialReferenceEngine
 from .gpu_kernel import GpuKernelConfig, OptimizedGpuEngine
@@ -38,6 +38,7 @@ def make_engine(
     engine: str = "cpu",
     params: Optional[LayoutParams] = None,
     gpu_config: Optional[GpuKernelConfig] = None,
+    on_progress: Optional[ProgressCallback] = None,
     **overrides,
 ):
     """Construct (but do not run) the requested layout engine.
@@ -59,6 +60,11 @@ def make_engine(
         Layout hyper-parameters; defaults to :class:`LayoutParams`.
     gpu_config:
         Optional kernel configuration for the ``"gpu"`` engine.
+    on_progress:
+        Optional live-progress hook (:data:`repro.core.base
+        .ProgressCallback`) installed on the constructed engine — a
+        convenience for the common construct-and-run flow; assigning
+        ``engine.on_progress`` afterwards is equivalent.
     overrides:
         Per-call :class:`LayoutParams` field overrides applied on top of
         ``params`` (e.g. ``workers=4``, ``fused=False``); unknown names
@@ -68,23 +74,27 @@ def make_engine(
     params = params if params is not None else LayoutParams()
     params = replace_params(params, overrides)
     if engine == "cpu":
-        return CpuBaselineEngine(lean, params)
-    if engine == "serial":
-        return SerialReferenceEngine(lean, params)
-    if engine == "batch":
-        return BatchedLayoutEngine(lean, params)
-    if engine == "gpu":
+        eng = CpuBaselineEngine(lean, params)
+    elif engine == "serial":
+        eng = SerialReferenceEngine(lean, params)
+    elif engine == "batch":
+        eng = BatchedLayoutEngine(lean, params)
+    elif engine == "gpu":
         cfg = gpu_config if gpu_config is not None else GpuKernelConfig()
-        return OptimizedGpuEngine(lean, params, cfg)
-    if engine == "gpu-base":
+        eng = OptimizedGpuEngine(lean, params, cfg)
+    elif engine == "gpu-base":
         cfg = gpu_config if gpu_config is not None else GpuKernelConfig.baseline()
-        return OptimizedGpuEngine(lean, params, cfg)
-    if engine == "shm":
+        eng = OptimizedGpuEngine(lean, params, cfg)
+    elif engine == "shm":
         # Runtime import: parallel depends on core, never the reverse.
         from ..parallel.shm import ShmHogwildEngine
 
-        return ShmHogwildEngine(lean, params)
-    raise ValueError(f"unknown engine {engine!r}; choose from {ENGINES}")
+        eng = ShmHogwildEngine(lean, params)
+    else:
+        raise ValueError(f"unknown engine {engine!r}; choose from {ENGINES}")
+    if on_progress is not None:
+        eng.on_progress = on_progress
+    return eng
 
 
 def layout_graph(
@@ -92,6 +102,7 @@ def layout_graph(
     engine: str = "cpu",
     params: Optional[LayoutParams] = None,
     gpu_config: Optional[GpuKernelConfig] = None,
+    on_progress: Optional[ProgressCallback] = None,
     **overrides,
 ) -> LayoutResult:
     """Compute a 2-D layout of ``graph`` with the chosen engine.
@@ -117,6 +128,14 @@ def layout_graph(
       support it;
     * otherwise the flat single-process engine, untouched.
 
+    ``on_progress`` is the live-progress hook (:data:`repro.core.base
+    .ProgressCallback`): whichever runner the routing picks calls it after
+    each completed iteration — per-iteration for flat and shm runs, with
+    global completed/total counts across all hierarchy levels for
+    multilevel runs. ``trace=...`` (a params field, so also usable as an
+    override here) writes the run's span trace as schema-versioned JSONL;
+    see :mod:`repro.obs`.
+
     Examples
     --------
     >>> from repro.synth import hla_drb1_like
@@ -141,11 +160,15 @@ def layout_graph(
             raise ValueError(
                 "workers > 1 and levels > 1 cannot be combined yet; run the "
                 "multilevel driver single-process or the shm engine flat")
-        return make_engine(graph, "shm", params).run()
+        return make_engine(graph, "shm", params,
+                           on_progress=on_progress).run()
     if params.levels > 1:
         # Runtime import: multilevel depends on core, never the reverse.
         from ..multilevel.driver import MultilevelDriver
 
-        return MultilevelDriver(_as_lean(graph), params, engine=engine,
-                                gpu_config=gpu_config).run()
-    return make_engine(graph, engine, params, gpu_config).run()
+        driver = MultilevelDriver(_as_lean(graph), params, engine=engine,
+                                  gpu_config=gpu_config)
+        driver.on_progress = on_progress
+        return driver.run()
+    return make_engine(graph, engine, params, gpu_config,
+                       on_progress=on_progress).run()

@@ -9,15 +9,18 @@ the engines stay focused on what the paper varies.
 """
 from __future__ import annotations
 
-import time
 from dataclasses import asdict, dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 
 from ..backend import ArrayBackend, get_backend
 from ..graph.lean import LeanGraph
 from ..graph.path_index import PathIndex
 from ..memtrack import PeakTracker
+from ..obs import clock as obs_clock
+from ..obs.metrics import MetricsRegistry, MetricsSnapshot
+from ..obs.trace_file import write_trace
+from ..obs.tracer import NULL_TRACER, Tracer
 from ..prng.xoshiro import Xoshiro256Plus
 from .fused import FusedIterationPlan, build_iteration_plans
 from .layout import Layout, NodeDataLayout, initialize_layout
@@ -26,7 +29,17 @@ from .schedule import make_schedule
 from .selection import PairSampler, StepBatch
 from .updates import UpdateWorkspace, apply_batch, batch_stress
 
-__all__ = ["IterationRecord", "LayoutResult", "LayoutEngine", "split_into_batches"]
+__all__ = ["IterationRecord", "LayoutResult", "LayoutEngine",
+           "ProgressCallback", "split_into_batches"]
+
+#: Signature of the live-progress hook (``LayoutEngine.on_progress``,
+#: threaded through :func:`repro.core.api.layout_graph`): called after each
+#: completed iteration with ``(completed, total, phase_stats)`` where
+#: ``completed`` counts from 1 to ``total`` and ``phase_stats`` is a small
+#: flat dict (engine, eta, terms, collisions). The CLI renders it as a live
+#: line; a job server would stream it — this is the hook ROADMAP open
+#: item 1's progress streaming builds on.
+ProgressCallback = Callable[[int, int, Dict[str, Any]], None]
 
 
 def split_into_batches(total: int, chunk: int) -> List[int]:
@@ -70,6 +83,9 @@ class LayoutResult:
     history: List[IterationRecord] = field(default_factory=list)
     counters: Dict[str, float] = field(default_factory=dict)
     wall_time_s: float = 0.0
+    metrics: Optional[MetricsSnapshot] = None
+    """Typed metrics snapshot (:mod:`repro.obs.metrics`) behind the flat
+    ``counters`` view; ``None`` for results built outside an engine run."""
 
     def final_stress(self) -> Optional[float]:
         """Last recorded sampled stress (None when history is disabled)."""
@@ -122,6 +138,8 @@ class LayoutResult:
             **self.summary(),
             "params": asdict(self.params),
             "counters": dict(self.counters),
+            "metrics": (self.metrics.to_dicts()
+                        if self.metrics is not None else None),
         }
 
 
@@ -140,7 +158,18 @@ class LayoutEngine:
         self.sampler = PairSampler(graph, self.params, self.index,
                                    backend=self.backend)
         self.schedule = make_schedule(graph, self.params)
-        self._counters: Dict[str, float] = {}
+        # Observability (repro.obs): the typed metrics registry replaces the
+        # old flat counter dict (add_counter/max_counter delegate into it);
+        # the tracer is live only when the params request a trace file, and
+        # callers (multilevel driver, bench cases, tests) may swap in their
+        # own bound tracer before run(). on_progress is the live-progress
+        # hook — assigned, not constructor-passed, because callables do not
+        # belong in the frozen/serialisable LayoutParams.
+        self.metrics = MetricsRegistry(labels={"engine": self.name,
+                                               "backend": self.backend.name})
+        self.tracer: Tracer = (Tracer(labels={"engine": self.name})
+                               if self.params.trace else NULL_TRACER)
+        self.on_progress: Optional[ProgressCallback] = None
 
     # ------------------------------------------------------------ interface
     def batch_plan(self, steps_per_iteration: int) -> List[int]:
@@ -207,7 +236,12 @@ class LayoutEngine:
     # ------------------------------------------------------------------ run
     def run(self, initial: Optional[Layout] = None) -> LayoutResult:
         """Execute the full layout optimisation and return the result."""
-        t_start = time.perf_counter()  # det-ok: reporting-only wall time, never feeds layout math
+        # Wall-clock reads route through the obs.clock seam (OBS001): the
+        # trace stays stub-able and the contract linter can prove no raw
+        # time.* read feeds layout math.
+        t_start = obs_clock.perf_counter()
+        tracer = self.tracer
+        trace = tracer.enabled
         params = self.params
         layout = (
             initial.copy()
@@ -217,7 +251,11 @@ class LayoutEngine:
         # Coordinate state lives in the backend's memory space for the whole
         # run: one upload here, one download at the end (both identities on
         # host backends, where ``coords`` *is* ``layout.coords``).
+        t_up = tracer.now() if trace else 0.0
         coords = self.backend.from_host(layout.coords)
+        if trace:
+            tracer.emit("transfer", t_up, tracer.now() - t_up)
+        t_sched = tracer.now() if trace else 0.0
         rng = self.make_rng()
         steps_per_iter = params.steps_per_iteration(self.graph.total_steps)
         # The plan depends only on the per-iteration step budget, so it is
@@ -245,10 +283,13 @@ class LayoutEngine:
                 plan=plan,
                 n_streams=rng.n_streams,
                 memory_budget=params.memory_budget,
+                tracer=tracer,
             )
             self.max_counter("fused_chunks", float(len(fused_plans)))
         self.add_counter("fused_iterations",
                          float(params.iter_max if fused else 0))
+        if trace:
+            tracer.emit("schedule", t_sched, tracer.now() - t_sched)
         # Peak-memory accounting: max RSS always (cheap getrusage read);
         # the tracemalloc delta only when a caller already pays for tracing.
         mem = PeakTracker(trace=None).start()
@@ -260,25 +301,44 @@ class LayoutEngine:
             n_terms_iter = 0
             stress_probe = 0.0
             probe_count = 0
+            # Per-iteration span aggregates: O(iterations) events regardless
+            # of batch/chunk count — "draw" is sampling (uniform megablocks
+            # fused, draw_batch/on_batch unfused), "dispatch" is the kernel
+            # or apply_batch work. One guarded clock read pair per unit keeps
+            # the disabled path at a single bool test.
+            t_iter = tracer.now() if trace else 0.0
+            draw_s = 0.0
+            disp_s = 0.0
             if fused:
                 for chunk in fused_plans:
                     # Sequential per-chunk draws consume exactly the stream
                     # state one whole-iteration draw would (the bulk draw is
                     # interchangeable mid-stream), so chunking never moves a
                     # sampled term.
+                    c0 = tracer.now() if trace else 0.0
                     block = rng.next_double_block(chunk.calls_per_iteration)  # mem-ok: chunk plans are budget-bounded; the unbudgeted single chunk is the documented opt-in default
+                    c1 = tracer.now() if trace else 0.0
                     stats = self.backend.run_iteration(chunk, coords, block,
                                                        eta, iteration)
+                    if trace:
+                        draw_s += c1 - c0
+                        disp_s += tracer.now() - c1
                     n_collisions += stats.n_point_collisions
                     n_terms_iter += stats.n_terms
                 self.add_counter("update_dispatches", float(len(fused_plans)))
+                n_units = len(fused_plans)
             else:
                 for batch_index, batch_size in enumerate(plan):
+                    c0 = tracer.now() if trace else 0.0
                     batch = self.draw_batch(rng, batch_size, iteration, batch_index)
                     batch = self.on_batch(batch, iteration, batch_index)
+                    c1 = tracer.now() if trace else 0.0
                     stats = apply_batch(coords, batch, eta,
                                         merge=self.merge_policy(),
                                         workspace=workspace)
+                    if trace:
+                        draw_s += c1 - c0
+                        disp_s += tracer.now() - c1
                     n_collisions += stats.n_point_collisions
                     n_terms_iter += stats.n_terms
                     if params.record_history and batch_index == 0:
@@ -286,8 +346,22 @@ class LayoutEngine:
                                                      backend=self.backend)
                         probe_count += 1
                 self.add_counter("update_dispatches", float(len(plan)))
+                n_units = len(plan)
             total_terms += n_terms_iter
             self.add_counter("point_collisions", float(n_collisions))
+            if trace:
+                tracer.emit("draw", t_iter, draw_s, iteration, count=n_units)
+                tracer.emit("dispatch", t_iter, disp_s, iteration,
+                            count=n_units)
+                tracer.emit("iteration", t_iter, tracer.now() - t_iter,
+                            iteration)
+            if self.on_progress is not None:
+                self.on_progress(iteration + 1, params.iter_max, {
+                    "engine": self.name,
+                    "eta": eta,
+                    "terms": n_terms_iter,
+                    "collisions": n_collisions,
+                })
             if params.record_history:
                 history.append(
                     IterationRecord(
@@ -300,11 +374,22 @@ class LayoutEngine:
                 )
         self.backend.synchronize()
         mem.stop()
-        if mem.rss_peak_bytes is not None:
-            self.max_counter("peak_rss_bytes", float(mem.rss_peak_bytes))
-        if mem.traced_peak_bytes is not None:
-            self.max_counter("traced_peak_bytes", float(mem.traced_peak_bytes))
+        for key, value in mem.as_counters().items():
+            self.max_counter(key, value)
+        t_down = tracer.now() if trace else 0.0
         result_layout = Layout(self.backend.to_host(coords), self.data_layout())
+        if trace:
+            tracer.emit("transfer", t_down, tracer.now() - t_down)
+        if params.trace:
+            # Flat single-process run: this engine owns the trace file. The
+            # shm/multilevel drivers keep ``trace`` out of their inner
+            # engines' params and write one merged file themselves.
+            write_trace(params.trace, tracer.events, meta={
+                "engine": self.name,
+                "backend": self.backend.name,
+                "iterations": params.iter_max,
+                "workers": params.workers,
+            })
         return LayoutResult(
             layout=result_layout,
             params=params,
@@ -312,8 +397,9 @@ class LayoutEngine:
             iterations=params.iter_max,
             total_terms=total_terms,
             history=history,
-            counters=dict(self._counters),
-            wall_time_s=time.perf_counter() - t_start,  # det-ok: reporting-only wall time, never feeds layout math
+            counters=self.metrics.counter_values(),
+            wall_time_s=obs_clock.perf_counter() - t_start,
+            metrics=self.metrics.snapshot(),
         )
 
     # -------------------------------------------------------------- helpers
@@ -327,7 +413,7 @@ class LayoutEngine:
 
     def add_counter(self, key: str, value: float) -> None:
         """Accumulate a named counter exposed in the result."""
-        self._counters[key] = self._counters.get(key, 0.0) + value
+        self.metrics.counter(key).add(float(value))
 
     def max_counter(self, key: str, value: float) -> None:
         """Record a high-water counter (max semantics, not accumulation).
@@ -336,5 +422,9 @@ class LayoutEngine:
         figure — peak memory, chunk counts — in contrast to the event
         counters :meth:`add_counter` accumulates.
         """
-        value = float(value)
-        self._counters[key] = max(self._counters.get(key, value), value)
+        self.metrics.gauge(key).record_max(float(value))
+
+    @property
+    def _counters(self) -> Dict[str, float]:
+        """Legacy flat counter view over the metrics registry (read-only)."""
+        return self.metrics.counter_values()

@@ -170,6 +170,7 @@ def chunk_spans(plan: List[int], memory_budget: Optional[int] = None,
 def build_iteration_plans(sampler: PairSampler, workspace: UpdateWorkspace,
                           merge: str, plan: List[int], n_streams: int,
                           memory_budget: Optional[int] = None,
+                          tracer=None,
                           ) -> List["FusedIterationPlan"]:
     """One :class:`FusedIterationPlan` per budget chunk, in plan order.
 
@@ -201,7 +202,7 @@ def build_iteration_plans(sampler: PairSampler, workspace: UpdateWorkspace,
     return [
         FusedIterationPlan(sampler=sampler, workspace=workspace, merge=merge,
                            plan=plan[start:end], n_streams=n_streams,
-                           scratch=scratch)
+                           scratch=scratch, tracer=tracer)
         for start, end in spans
     ]
 
@@ -239,6 +240,11 @@ class FusedIterationPlan:
     calls_per_iteration: int = field(init=False)
     cache: Dict[str, object] = field(default_factory=dict)
     scratch: Dict[str, object] = field(default_factory=dict)
+    #: Optional :class:`repro.obs.tracer.Tracer` (duck-typed to avoid a core
+    #: -> obs import at dataclass-field level). When live, host-path fused
+    #: execution attributes selection/merge time per chunk; ``None`` or a
+    #: disabled tracer costs one attribute read per run_iteration call.
+    tracer: Optional[object] = None
 
     def __post_init__(self) -> None:
         self.plan = [int(b) for b in self.plan]
@@ -371,10 +377,21 @@ def run_iteration_host(backend, plan: FusedIterationPlan, coords,
         buf = draws_xp.empty((SAMPLE_VECTORS, n_terms), dtype=np.float64)  # alloc-ok: warm-up allocation; kept in the chunk-shared scratch and reused by later chunks and iterations
         plan.scratch[draws_key] = buf
     out = buf if buf.shape[1] == n_terms else buf[:, :n_terms]
+    # Span attribution (repro.obs): selection is the one vectorised pass,
+    # merge is the sequential segment walk — the interpreter analogue of the
+    # paper's per-kernel Table IV split. One event per chunk, not per
+    # segment, so event volume stays O(iterations x chunks).
+    tracer = plan.tracer
+    trace = tracer is not None and tracer.enabled
+    t_sel = tracer.now() if trace else 0.0
     draws = iteration_draws(uniforms, plan.plan, plan.need_calls,
                             plan.n_streams, xp=draws_xp, out=out)
     terms = sampler.select_from_uniforms(draws, n_terms, iteration,
                                          xp=xp, arrays=arrays)
+    if trace:
+        tracer.emit("selection", t_sel, tracer.now() - t_sel, iteration,
+                    count=n_terms)
+    t_mrg = tracer.now() if trace else 0.0
     n_collisions = 0
     offset = 0
     for batch_size in plan.plan:
@@ -383,5 +400,8 @@ def run_iteration_host(backend, plan: FusedIterationPlan, coords,
         _, collisions = merge_batch(coords, segment, eta, plan.merge,
                                     plan.workspace)
         n_collisions += collisions
+    if trace:
+        tracer.emit("merge", t_mrg, tracer.now() - t_mrg, iteration,
+                    count=len(plan.plan))
     return FusedIterationStats(n_terms=n_terms,
                                n_point_collisions=n_collisions)

@@ -169,6 +169,17 @@ class LayoutParams:
     part of the hierarchy at each level boundary (strictly between 0 and 1);
     see :func:`repro.multilevel.split_iterations`."""
 
+    trace: Optional[str] = None
+    """Path of a JSONL run-trace file (:mod:`repro.obs`). ``None`` (the
+    default) disables tracing entirely — engines hold the null tracer and
+    the hot path pays one branch per guarded site. A path makes the run
+    record phase-attributed spans (schedule/selection/dispatch/merge/
+    transfer/...) and write them, schema-versioned, at the end of ``run()``;
+    shm workers emit to per-worker shared-memory ring buffers which the
+    parent merges into the one file. Tracing never touches coordinates or
+    PRNG draw order, so traced layouts are byte-identical to untraced
+    ones."""
+
     def __post_init__(self) -> None:
         if self.iter_max < 1:
             raise ValueError("iter_max must be >= 1")
@@ -208,6 +219,9 @@ class LayoutParams:
             raise ValueError("coarsen_min_nodes must be >= 1")
         if not 0.0 < self.level_iter_split < 1.0:
             raise ValueError("level_iter_split must lie strictly between 0 and 1")
+        if self.trace is not None and (not isinstance(self.trace, str)
+                                       or not self.trace):
+            raise ValueError("trace must be None or a non-empty output path")
         # Reject the unsupported combination at construction time, so
         # replace_params-built configs fail here with the same message the
         # late layout_graph() check used to raise.

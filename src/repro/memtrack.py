@@ -93,6 +93,16 @@ class PeakTracker:
         self.rss_peak_bytes = max_rss_bytes()
         return self
 
+    def as_counters(self) -> dict:
+        """Measured peaks as high-water counter entries (absent probes
+        omitted), in the key vocabulary ``LayoutResult.summary()`` pins."""
+        out = {}
+        if self.rss_peak_bytes is not None:
+            out["peak_rss_bytes"] = float(self.rss_peak_bytes)
+        if self.traced_peak_bytes is not None:
+            out["traced_peak_bytes"] = float(self.traced_peak_bytes)
+        return out
+
     def __enter__(self) -> "PeakTracker":
         return self.start()
 

@@ -26,10 +26,14 @@ from typing import List, Optional
 
 import numpy as np
 
-from ..core.base import IterationRecord, LayoutResult
+from ..core.base import IterationRecord, LayoutResult, ProgressCallback
 from ..core.layout import Layout
 from ..core.params import LayoutParams
 from ..graph.lean import LeanGraph
+from ..obs import clock as obs_clock
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace_file import write_trace
+from ..obs.tracer import NULL_TRACER, Tracer
 from ..prng.splitmix import derive_seed
 from .coarsen import Hierarchy, build_hierarchy
 from .prolong import prolongate, restrict
@@ -67,6 +71,14 @@ def split_iterations(total: int, depth: int, split: float) -> List[int]:
     return out
 
 
+def _offset_progress(callback: ProgressCallback, offset: int,
+                     grand_total: int, level: int) -> ProgressCallback:
+    """Wrap a progress hook to report hierarchy-global completion counts."""
+    def hook(completed: int, total: int, stats) -> None:
+        callback(offset + completed, grand_total, dict(stats, level=level))
+    return hook
+
+
 class MultilevelDriver:
     """Coarse-to-fine layout over a chain-contraction hierarchy.
 
@@ -95,6 +107,14 @@ class MultilevelDriver:
         self.gpu_config = gpu_config
         self.hierarchy: Hierarchy = build_hierarchy(
             graph, self.params.levels, self.params.coarsen_min_nodes)
+        # Observability (repro.obs): one tracer and one metrics registry for
+        # the whole V-cycle — level engines get ``level=k``-labelled views
+        # of the driver's tracer, so every level's spans land in a single
+        # ordered stream and the driver alone writes the trace file.
+        self.tracer: Tracer = (Tracer(labels={"engine": self.name})
+                               if self.params.trace else NULL_TRACER)
+        self.metrics = MetricsRegistry(labels={"engine": self.name})
+        self.on_progress: Optional[ProgressCallback] = None
 
     # -------------------------------------------------------------- helpers
     def _make_level_engine(self, level_graph: LeanGraph, level: int,
@@ -105,12 +125,17 @@ class MultilevelDriver:
         level_params = self.params.with_(
             iter_max=int(eta_slice.size),
             seed=derive_seed(self.params.seed, f"multilevel/level{level}"),
+            # The driver owns the run's one trace file; a level engine must
+            # never write its own. Its spans still flow into the shared
+            # stream through the bound tracer installed below.
+            trace=None,
         )
         engine = make_engine(level_graph, self.engine_kind, level_params,
                              self.gpu_config)
         # The engine computed a full annealing sweep for its own graph;
         # replace it with this level's slice of the shared global schedule.
         engine.schedule = np.asarray(eta_slice, dtype=np.float64)
+        engine.tracer = self.tracer.bind(level=str(level))
         return engine
 
     def level_iterations(self) -> List[int]:
@@ -147,9 +172,15 @@ class MultilevelDriver:
         if hierarchy.depth == 1:
             # Flat hierarchy: delegate untouched (the levels=1 byte-identity
             # contract — same engine, same params, same seed, same draws).
+            # The engine owns the trace file here: params.trace passes
+            # through, so the delegation is observably a flat run too.
             return make_engine(self.graph, self.engine_kind, self.params,
-                               self.gpu_config).run(initial)
+                               self.gpu_config,
+                               on_progress=self.on_progress).run(initial)
 
+        t_start = obs_clock.perf_counter()
+        tracer = self.tracer
+        trace = tracer.enabled
         schedules = self.level_schedules()
         # Restrict an explicit initial layout down to the coarsest level;
         # with the default initialisation every level seeds itself.
@@ -164,13 +195,25 @@ class MultilevelDriver:
 
         history: List[IterationRecord] = []
         counters = {"multilevel_depth": float(hierarchy.depth)}
+        self.metrics.gauge("multilevel_depth").set(float(hierarchy.depth))
         total_terms = 0
         total_iterations = 0
+        # Global progress: level runs report completed iterations offset by
+        # the levels already finished, against the hierarchy-wide total —
+        # one monotonic 1..grand_total sweep, coarsest level first.
+        grand_total = sum(self.level_iterations())
         current: Optional[Layout] = restricted[-1]
         for level in range(hierarchy.depth - 1, -1, -1):
             engine = self._make_level_engine(hierarchy.graphs[level], level,
                                              schedules[level])
+            if self.on_progress is not None:
+                engine.on_progress = _offset_progress(
+                    self.on_progress, total_iterations, grand_total, level)
+            t_level = tracer.now() if trace else 0.0
             result = engine.run(initial=current)
+            if trace:
+                tracer.emit("level", t_level, tracer.now() - t_level,
+                            count=result.iterations)
             total_terms += result.total_terms
             for record in result.history:
                 history.append(IterationRecord(
@@ -184,14 +227,27 @@ class MultilevelDriver:
             counters[f"level{level}_nodes"] = float(hierarchy.graphs[level].n_nodes)
             counters[f"level{level}_terms"] = float(result.total_terms)
             counters[f"level{level}_iterations"] = float(result.iterations)
+            # The same per-level figures as labelled gauges: one metric name
+            # per quantity, the level in the label — the registry-native
+            # shape of the historical ``level{k}_*`` counter keys above.
+            lvl = str(level)
+            self.metrics.gauge("level_nodes", level=lvl).set(
+                float(hierarchy.graphs[level].n_nodes))
+            self.metrics.gauge("level_terms", level=lvl).set(
+                float(result.total_terms))
+            self.metrics.gauge("level_iterations", level=lvl).set(
+                float(result.iterations))
             # High-water counters carry max semantics across levels: the
             # hierarchy's peak is its worst level, not the sum of levels.
             for peak_key in ("peak_rss_bytes", "traced_peak_bytes", "fused_chunks"):
                 if peak_key in result.counters:
                     counters[peak_key] = max(counters.get(peak_key, 0.0),
                                              float(result.counters[peak_key]))
+                    self.metrics.gauge(peak_key).record_max(
+                        float(result.counters[peak_key]))
             current = result.layout
             if level > 0:
+                t_pro = tracer.now() if trace else 0.0
                 current = prolongate(
                     current,
                     hierarchy.levels[level - 1],
@@ -200,6 +256,15 @@ class MultilevelDriver:
                                      f"multilevel/prolong{level - 1}"),
                     data_layout=current.data_layout,
                 )
+                if trace:
+                    tracer.bind(level=str(level - 1)).emit(
+                        "prolong", t_pro, tracer.now() - t_pro)
+        if self.params.trace:
+            write_trace(self.params.trace, tracer.events, meta={
+                "engine": f"{self.name}[{self.engine_kind}]",
+                "iterations": total_iterations,
+                "levels": hierarchy.depth,
+            })
         return LayoutResult(
             layout=current,
             params=self.params,
@@ -208,4 +273,6 @@ class MultilevelDriver:
             total_terms=total_terms,
             history=history,
             counters=counters,
+            wall_time_s=obs_clock.perf_counter() - t_start,
+            metrics=self.metrics.snapshot(),
         )

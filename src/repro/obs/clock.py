@@ -1,0 +1,65 @@
+"""The sanctioned monotonic-clock seam (OBS001).
+
+Every wall-clock read on a hot path — engine wall times, tracer spans, the
+shm engine's setup/iterate phase timers — routes through this module
+instead of calling ``time.perf_counter``/``time.monotonic`` directly. Two
+things fall out of funnelling every read through one seam:
+
+* **The determinism contract stays checkable.** DET001 bans raw wall-clock
+  reads in the hot-path directories because a timestamp feeding layout math
+  would break byte-identity; OBS001 narrows the remaining legitimate use
+  (reporting-only timing) to exactly this door. A raw ``time.perf_counter()``
+  in ``core/``/``parallel/`` is a lint error; ``clock.perf_counter()`` is
+  not, and the seam itself is trivially auditable for "never feeds layout
+  math" because it only ever *returns* floats to telemetry consumers.
+* **Tests can stub time.** :func:`stub_clock` swaps the underlying reads
+  for a deterministic callable, which is how the trace-structure tests
+  prove event kinds/counts are byte-stable while timestamps are not.
+
+``time.perf_counter`` reads ``CLOCK_MONOTONIC``(-like) time; on Linux the
+epoch is system-wide, so parent and shm-worker reads are directly
+comparable — the property the cross-process trace merge relies on. On
+platforms without that guarantee per-worker orderings remain valid and only
+cross-process interleaving becomes approximate.
+"""
+from __future__ import annotations
+
+import time as _time
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+__all__ = ["perf_counter", "monotonic", "stub_clock"]
+
+# The live implementations. Module-level indirection (rather than direct
+# calls) is what makes the seam stub-able without monkeypatching stdlib.
+_perf_counter: Callable[[], float] = _time.perf_counter
+_monotonic: Callable[[], float] = _time.monotonic
+
+
+def perf_counter() -> float:
+    """Highest-resolution monotonic clock read (seconds, arbitrary epoch)."""
+    return _perf_counter()
+
+
+def monotonic() -> float:
+    """Coarse monotonic clock read (seconds, arbitrary epoch)."""
+    return _monotonic()
+
+
+@contextmanager
+def stub_clock(fn: Callable[[], float]) -> Iterator[Callable[[], float]]:
+    """Temporarily replace both clock reads with ``fn`` (tests only).
+
+    ``fn`` is called for every :func:`perf_counter`/:func:`monotonic` read
+    while the context is active; a typical stub returns a deterministic
+    ramp (``itertools.count``) so spans get reproducible timestamps. The
+    previous implementations are restored on exit, exception or not.
+    """
+    global _perf_counter, _monotonic
+    prev = (_perf_counter, _monotonic)
+    _perf_counter = fn
+    _monotonic = fn
+    try:
+        yield fn
+    finally:
+        _perf_counter, _monotonic = prev

@@ -1,0 +1,160 @@
+"""Per-worker trace ring buffers in shared memory.
+
+The shm engine's workers (PR 6) were observability black boxes: once
+spawned, the parent saw only per-iteration ``(terms, collisions)`` tuples.
+This module ends that by giving each worker a fixed-size ring buffer *in
+the run's existing shared segment* (:class:`~repro.parallel.shm
+.SharedArrayBlock`), written lock-free by exactly one producer (the worker)
+and decoded by exactly one consumer (the parent, after the workers have
+stopped) — no pipes, no pickling, no allocation in the worker's iteration
+loop.
+
+Encoding: one event per row of a ``(capacity, RING_FIELDS)`` float64 array
+— ``(name_id, t0, dur, iteration, count, seq)`` — plus an int64 control
+word holding the monotonically increasing write count. Phase names are
+interned through the fixed :data:`PHASE_NAMES` table (floats round-trip
+small ints exactly); names outside the table map to ``"other"`` rather
+than growing a shared string table. When a ring overflows, the oldest
+events are overwritten and the overflow is *counted*, not silently lost:
+the parent surfaces the total in the trace file's ``end`` record. Parents
+size rings from the iteration/chunk plan (:func:`ring_capacity`), so
+overflow only happens if the span taxonomy grows without a capacity bump.
+"""
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from .tracer import TraceEvent, Tracer
+
+__all__ = ["RING_FIELDS", "PHASE_NAMES", "ring_capacity", "ring_payload",
+           "ring_keys", "TraceRing", "RingTracer"]
+
+#: Columns per encoded event: name_id, t0, dur, iteration, count, seq.
+RING_FIELDS = 6
+
+#: Interned span names shared by ring encode (worker) and decode (parent).
+#: Append-only: ids are positional, so reordering or removing entries would
+#: misdecode rings written by the other side of a version skew.
+PHASE_NAMES = ("iteration", "draw", "dispatch", "selection", "merge",
+               "schedule", "transfer", "level", "prolong", "other")
+
+_PHASE_ID: Dict[str, int] = {name: i for i, name in enumerate(PHASE_NAMES)}
+_OTHER_ID = _PHASE_ID["other"]
+
+
+def ring_capacity(iter_max: int, n_chunks: int, slack: int = 8) -> int:
+    """Capacity covering one worker's full emission for a run.
+
+    Per iteration a worker emits ``selection`` + ``merge`` per chunk (from
+    :func:`repro.core.fused.run_iteration_host`) plus the aggregated
+    ``draw``/``dispatch``/``iteration`` trio — ``2 * n_chunks + 3`` events.
+    ``slack`` absorbs per-run one-offs so a correctly sized ring never
+    drops.
+    """
+    if iter_max < 1 or n_chunks < 1:
+        raise ValueError("iter_max and n_chunks must be >= 1")
+    return int(iter_max) * (2 * int(n_chunks) + 3) + int(slack)
+
+
+def ring_keys(worker_id: int) -> Tuple[str, str]:
+    """Shared-block array keys for one worker's ring (buffer, control)."""
+    return f"trace/{worker_id}/buf", f"trace/{worker_id}/ctl"
+
+
+def ring_payload(worker_id: int, capacity: int) -> Dict[str, np.ndarray]:
+    """Freshly zeroed ring arrays, keyed for the shared block's payload."""
+    if capacity < 1:
+        raise ValueError("ring capacity must be >= 1")
+    buf_key, ctl_key = ring_keys(worker_id)
+    return {
+        buf_key: np.zeros((int(capacity), RING_FIELDS), dtype=np.float64),
+        # ctl[0] = events written (monotonic); ctl[1] reserved.
+        ctl_key: np.zeros(2, dtype=np.int64),
+    }
+
+
+class TraceRing:
+    """Single-producer/single-consumer event ring over two array views.
+
+    The producer (worker) only calls :meth:`push`; the consumer (parent)
+    only calls :meth:`events` *after* the producer has stopped — the shm
+    engine's iteration barrier plus worker join gives that for free, so no
+    memory-ordering machinery is needed beyond the shared mapping itself.
+    """
+
+    def __init__(self, buf: np.ndarray, ctl: np.ndarray):
+        if buf.ndim != 2 or buf.shape[1] != RING_FIELDS:
+            raise ValueError(f"ring buffer must be (capacity, {RING_FIELDS})")
+        self.buf = buf
+        self.ctl = ctl
+        self.capacity = int(buf.shape[0])
+
+    # ------------------------------------------------------------- producer
+    def push(self, name: str, t0: float, dur: float, iteration: int = -1,
+             count: int = 1) -> None:
+        """Append one event, overwriting the oldest when full."""
+        seq = int(self.ctl[0])
+        row = self.buf[seq % self.capacity]
+        row[0] = _PHASE_ID.get(name, _OTHER_ID)
+        row[1] = t0
+        row[2] = dur
+        row[3] = iteration
+        row[4] = count
+        row[5] = seq
+        self.ctl[0] = seq + 1
+
+    # ------------------------------------------------------------- consumer
+    @property
+    def written(self) -> int:
+        """Total events pushed over the ring's lifetime."""
+        return int(self.ctl[0])
+
+    @property
+    def dropped(self) -> int:
+        """Events overwritten before they could be decoded."""
+        return max(0, self.written - self.capacity)
+
+    def events(self, labels: Optional[Mapping[str, str]] = None
+               ) -> List[TraceEvent]:
+        """Decode surviving events, oldest first (emission order)."""
+        written = self.written
+        labels = dict(labels or {})
+        if written <= self.capacity:
+            rows = self.buf[:written]
+        else:
+            start = written % self.capacity
+            rows = np.concatenate([self.buf[start:], self.buf[:start]])
+        out: List[TraceEvent] = []
+        for row in rows:
+            name_id = int(row[0])
+            name = (PHASE_NAMES[name_id]
+                    if 0 <= name_id < len(PHASE_NAMES) else "other")
+            out.append(TraceEvent(name=name, t0=float(row[1]),
+                                  dur=float(row[2]), iteration=int(row[3]),
+                                  count=int(row[4]), labels=labels))
+        return out
+
+
+class RingTracer(Tracer):
+    """Tracer whose emissions land in a :class:`TraceRing`.
+
+    Workers hold one of these; engine code is indifferent to whether it is
+    writing to a list or a ring. Labels are *not* encoded per event — the
+    parent attaches the worker's label set once at decode time — so
+    ``bind`` returns ``self``.
+    """
+
+    enabled = True
+
+    def __init__(self, ring: TraceRing):
+        super().__init__()
+        self.ring = ring
+
+    def emit(self, name: str, t0: float, dur: float, iteration: int = -1,
+             count: int = 1) -> None:
+        self.ring.push(name, t0, dur, iteration, count)
+
+    def bind(self, **labels) -> Tracer:
+        return self

@@ -47,7 +47,6 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
-import time
 from multiprocessing import shared_memory
 from typing import Dict, List, Optional, Tuple
 
@@ -55,11 +54,16 @@ import numpy as np
 
 from ..core.base import LayoutResult
 from ..core.cpu_baseline import CpuBaselineEngine
-from ..core.fused import build_iteration_plans, slice_plan
+from ..core.fused import build_iteration_plans, chunk_spans, slice_plan
 from ..core.layout import Layout, initialize_layout
 from ..core.params import LayoutParams
 from ..core.selection import PairSampler, SelectionArrays
 from ..core.updates import UpdateWorkspace
+from ..obs import clock as obs_clock
+from ..obs.ring import RingTracer, TraceRing, ring_capacity, ring_keys, \
+    ring_payload
+from ..obs.trace_file import merge_events, write_trace
+from ..obs.tracer import NULL_TRACER
 from ..prng.splitmix import derive_seed
 from ..prng.xoshiro import Xoshiro256Plus
 
@@ -226,6 +230,17 @@ def _worker_main(worker_id: int, shm_name: str, manifest: Manifest,
         sampler = PairSampler.from_arrays(arrays, params, backend)
         rng = Xoshiro256Plus(stream_state)
         workspace = UpdateWorkspace(max(sub_plan), backend=backend)
+        # Tracing: the worker's spans land lock-free in its own ring inside
+        # the shared segment (repro.obs.ring); the parent decodes after
+        # join and merges all streams into one ordered trace file. No pipe
+        # traffic, no per-event allocation in the iteration loop.
+        if params.trace:
+            buf_key, ctl_key = ring_keys(worker_id)
+            tracer = RingTracer(TraceRing(block.view(buf_key),
+                                          block.view(ctl_key)))
+        else:
+            tracer = NULL_TRACER
+        trace = tracer.enabled
         # Each worker chunks its sub-plan under its share of the run budget
         # (workers race concurrently, so shares must sum to the budget). The
         # share is derived from params here rather than shipped as an extra
@@ -233,7 +248,8 @@ def _worker_main(worker_id: int, shm_name: str, manifest: Manifest,
         plans = build_iteration_plans(
             sampler=sampler, workspace=workspace, merge=params.merge_policy,
             plan=sub_plan, n_streams=rng.n_streams,
-            memory_budget=budget_share(params.memory_budget, params.workers))
+            memory_budget=budget_share(params.memory_budget, params.workers),
+            tracer=tracer)
         conn.send(("ready", worker_id, len(plans)))
         while True:
             msg = conn.recv()
@@ -242,12 +258,27 @@ def _worker_main(worker_id: int, shm_name: str, manifest: Manifest,
             _, iteration, eta = msg
             n_terms = 0
             n_collisions = 0
+            t_iter = tracer.now() if trace else 0.0
+            draw_s = 0.0
+            disp_s = 0.0
             for chunk in plans:
+                c0 = tracer.now() if trace else 0.0
                 block_draws = rng.next_double_block(chunk.calls_per_iteration)  # mem-ok: chunk plans are bounded by the worker's budget share
+                c1 = tracer.now() if trace else 0.0
                 stats = backend.run_iteration(chunk, coords, block_draws, eta,
                                               iteration)
+                if trace:
+                    draw_s += c1 - c0
+                    disp_s += tracer.now() - c1
                 n_terms += stats.n_terms
                 n_collisions += stats.n_point_collisions
+            if trace:
+                tracer.emit("draw", t_iter, draw_s, iteration,
+                            count=len(plans))
+                tracer.emit("dispatch", t_iter, disp_s, iteration,
+                            count=len(plans))
+                tracer.emit("iteration", t_iter, tracer.now() - t_iter,
+                            iteration)
             conn.send((n_terms, n_collisions))
     finally:
         conn.close()
@@ -296,22 +327,39 @@ class ShmHogwildEngine(CpuBaselineEngine):
                                       self.params.seed)
         payload = {"coords": layout.coords}
         payload.update(_selection_arrays_payload(self.sampler.arrays))
+        if self.params.trace:
+            # One trace ring per worker, sized from the worker's own chunk
+            # plan so a correctly behaving run never drops an event (a ring
+            # holds every span the worker emits: 2 per chunk from the fused
+            # host path + the draw/dispatch/iteration trio per iteration).
+            share = budget_share(self.params.memory_budget,
+                                 self.params.workers)
+            for w, sub_plan in enumerate(sub_plans):
+                n_chunks = max(1, len(chunk_spans(sub_plan, share)))
+                capacity = ring_capacity(max(1, self.params.iter_max),
+                                         n_chunks)
+                payload.update(ring_payload(w, capacity))
         block = SharedArrayBlock.create(payload)  # shm-ok: ownership transfers to run(), whose finally unlinks
         return sub_plans, states, block
 
     # ------------------------------------------------------------------ run
     def run(self, initial: Optional[Layout] = None) -> LayoutResult:
-        t_start = time.perf_counter()  # det-ok: reporting-only wall time, never feeds layout math
+        t_start = obs_clock.perf_counter()
+        tracer = self.tracer
+        trace = tracer.enabled
         params = self.params
         layout = (initial.copy() if initial is not None
                   else initialize_layout(self.graph, seed=params.seed,
                                          data_layout=self.data_layout()))
+        t_sched = tracer.now() if trace else 0.0
         sub_plans, states, block = self._worker_setup(layout)
         n_workers = len(sub_plans)
         ctx = mp.get_context(self.start_method)
         procs: List = []
         conns: List = []
         total_terms = 0
+        worker_events: List[List] = []
+        dropped = 0
         try:
             for w, (sub_plan, state) in enumerate(zip(sub_plans, states)):
                 parent_conn, child_conn = ctx.Pipe()
@@ -331,29 +379,63 @@ class ShmHogwildEngine(CpuBaselineEngine):
                 assert msg[0] == "ready"
                 total_chunks += msg[2]
             self.max_counter("fused_chunks", float(total_chunks))
-            t_ready = time.perf_counter()  # det-ok: reporting-only wall time, never feeds layout math
+            t_ready = obs_clock.perf_counter()
             self.add_counter("parallel_setup_s", t_ready - t_start)
+            if trace:
+                tracer.emit("schedule", t_sched, tracer.now() - t_sched,
+                            count=n_workers)
             for iteration in range(params.iter_max):
                 eta = float(self.schedule[iteration])
+                t_iter = tracer.now() if trace else 0.0
                 for conn in conns:
                     conn.send(("iter", iteration, eta))
                 n_collisions = 0
                 n_terms_iter = 0
-                for conn in conns:
+                for w, conn in enumerate(conns):
                     terms, collisions = conn.recv()
                     n_terms_iter += terms
                     n_collisions += collisions
+                    # Labelled per-worker metrics: the flat counter view
+                    # renders these as ``worker_terms{worker=N}``, alongside
+                    # the label-free totals the summary() contract pins.
+                    self.metrics.counter("worker_terms",
+                                         worker=str(w)).add(float(terms))
                 total_terms += n_terms_iter
                 self.add_counter("point_collisions", float(n_collisions))
                 self.add_counter("update_dispatches", float(total_chunks))
+                if trace:
+                    # The parent's iteration span covers the barrier-to-
+                    # barrier wall time; per-worker spans live in the rings.
+                    tracer.emit("iteration", t_iter, tracer.now() - t_iter,
+                                iteration, count=n_workers)
+                if self.on_progress is not None:
+                    self.on_progress(iteration + 1, params.iter_max, {
+                        "engine": self.name,
+                        "eta": eta,
+                        "terms": n_terms_iter,
+                        "collisions": n_collisions,
+                        "workers": n_workers,
+                    })
             self.add_counter("parallel_iterate_s",
-                             time.perf_counter() - t_ready)  # det-ok: reporting-only wall time, never feeds layout math
+                             obs_clock.perf_counter() - t_ready)
             for conn in conns:
                 conn.send(("stop",))
             for proc in procs:
                 proc.join(timeout=30.0)
             # Read back the raced coordinates before the mapping goes away.
             layout.coords[...] = block.view("coords")
+            if params.trace:
+                # Decode the per-worker rings while the mapping is alive
+                # (workers have joined, so each ring's producer is done).
+                for w in range(n_workers):
+                    buf_key, ctl_key = ring_keys(w)
+                    ring = TraceRing(block.view(buf_key), block.view(ctl_key))
+                    worker_events.append(
+                        ring.events(labels=dict(tracer.labels,
+                                                worker=str(w))))
+                    dropped += ring.dropped
+                    self.metrics.counter("trace_events", worker=str(w)).add(
+                        float(ring.written))
         finally:
             for conn in conns:
                 conn.close()
@@ -365,14 +447,27 @@ class ShmHogwildEngine(CpuBaselineEngine):
             block.unlink()
         self.add_counter("fused_iterations", float(params.iter_max))
         self.add_counter("effective_workers", float(n_workers))
+        if params.trace:
+            # One merged, ordered trace: the parent's own spans interleaved
+            # with every worker's ring stream (t0-sorted, stable).
+            write_trace(params.trace,
+                        merge_events([tracer.events] + worker_events),
+                        meta={
+                            "engine": self.name,
+                            "backend": self.backend.name,
+                            "iterations": params.iter_max,
+                            "workers": n_workers,
+                        },
+                        dropped=dropped)
         return LayoutResult(
             layout=layout,
             params=params,
             engine=self.name,
             iterations=params.iter_max,
             total_terms=total_terms,
-            counters=dict(self._counters),
-            wall_time_s=time.perf_counter() - t_start,  # det-ok: reporting-only wall time, never feeds layout math
+            counters=self.metrics.counter_values(),
+            wall_time_s=obs_clock.perf_counter() - t_start,
+            metrics=self.metrics.snapshot(),
         )
 
     # ------------------------------------------------------------- inline
@@ -387,11 +482,14 @@ class ShmHogwildEngine(CpuBaselineEngine):
         inheriting scheduler noise; it is also the natural fallback on
         single-core boxes.
         """
-        t_start = time.perf_counter()  # det-ok: reporting-only wall time, never feeds layout math
+        t_start = obs_clock.perf_counter()
+        tracer = self.tracer
+        trace = tracer.enabled
         params = self.params
         layout = (initial.copy() if initial is not None
                   else initialize_layout(self.graph, seed=params.seed,
                                          data_layout=self.data_layout()))
+        t_sched = tracer.now() if trace else 0.0
         steps_per_iter = params.steps_per_iteration(self.graph.total_steps)
         plan = self.batch_plan(steps_per_iter)
         sub_plans = slice_plan(plan, params.workers)
@@ -399,6 +497,10 @@ class ShmHogwildEngine(CpuBaselineEngine):
                                       params.seed)
         coords = self.backend.from_host(layout.coords)
         rngs = [Xoshiro256Plus(state) for state in states]
+        # Per-worker tracer views share the parent's event list but carry a
+        # ``worker=N`` label — the inline analogue of the process path's
+        # per-worker rings, same labelled stream, no merge step needed.
+        wtracers = [tracer.bind(worker=str(w)) for w in range(len(sub_plans))]
         # Same decomposition the worker processes build: each worker's
         # sub-plan chunked under its share of the run's memory budget.
         share = budget_share(params.memory_budget, params.workers)
@@ -407,34 +509,74 @@ class ShmHogwildEngine(CpuBaselineEngine):
                                   workspace=UpdateWorkspace(max(sub_plan),
                                                             backend=self.backend),
                                   merge=params.merge_policy, plan=sub_plan,
-                                  n_streams=rng.n_streams, memory_budget=share)
-            for sub_plan, rng in zip(sub_plans, rngs)
+                                  n_streams=rng.n_streams, memory_budget=share,
+                                  tracer=wtracer)
+            for sub_plan, rng, wtracer in zip(sub_plans, rngs, wtracers)
         ]
         total_chunks = sum(len(plans) for plans in worker_plans)
         self.max_counter("fused_chunks", float(total_chunks))
+        if trace:
+            tracer.emit("schedule", t_sched, tracer.now() - t_sched,
+                        count=len(sub_plans))
         total_terms = 0
         for iteration in range(params.iter_max):
             eta = float(self.schedule[iteration])
             n_collisions = 0
-            for rng, plans in zip(rngs, worker_plans):
+            n_terms_iter = 0
+            t_iter = tracer.now() if trace else 0.0
+            for w, (rng, plans) in enumerate(zip(rngs, worker_plans)):
+                wtracer = wtracers[w]
+                t_w = wtracer.now() if trace else 0.0
+                draw_s = 0.0
+                disp_s = 0.0
                 for chunk in plans:
+                    c0 = wtracer.now() if trace else 0.0
                     block = rng.next_double_block(chunk.calls_per_iteration)  # mem-ok: chunk plans are bounded by the worker's budget share
+                    c1 = wtracer.now() if trace else 0.0
                     stats = self.backend.run_iteration(chunk, coords, block,
                                                        eta, iteration)
-                    total_terms += stats.n_terms
+                    if trace:
+                        draw_s += c1 - c0
+                        disp_s += wtracer.now() - c1
+                    n_terms_iter += stats.n_terms
                     n_collisions += stats.n_point_collisions
+                if trace:
+                    wtracer.emit("draw", t_w, draw_s, iteration,
+                                 count=len(plans))
+                    wtracer.emit("dispatch", t_w, disp_s, iteration,
+                                 count=len(plans))
+            total_terms += n_terms_iter
             self.add_counter("point_collisions", float(n_collisions))
             self.add_counter("update_dispatches", float(total_chunks))
+            if trace:
+                tracer.emit("iteration", t_iter, tracer.now() - t_iter,
+                            iteration, count=len(sub_plans))
+            if self.on_progress is not None:
+                self.on_progress(iteration + 1, params.iter_max, {
+                    "engine": f"{self.name}-inline",
+                    "eta": eta,
+                    "terms": n_terms_iter,
+                    "collisions": n_collisions,
+                    "workers": len(sub_plans),
+                })
         self.add_counter("fused_iterations", float(params.iter_max))
         self.add_counter("effective_workers", float(len(sub_plans)))
+        if params.trace:
+            write_trace(params.trace, tracer.events, meta={
+                "engine": f"{self.name}-inline",
+                "backend": self.backend.name,
+                "iterations": params.iter_max,
+                "workers": len(sub_plans),
+            })
         return LayoutResult(
             layout=layout,
             params=params,
             engine=f"{self.name}-inline",
             iterations=params.iter_max,
             total_terms=total_terms,
-            counters=dict(self._counters),
-            wall_time_s=time.perf_counter() - t_start,  # det-ok: reporting-only wall time, never feeds layout math
+            counters=self.metrics.counter_values(),
+            wall_time_s=obs_clock.perf_counter() - t_start,
+            metrics=self.metrics.snapshot(),
         )
 
 

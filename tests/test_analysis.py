@@ -416,6 +416,65 @@ class TestShm001:
         assert [f for f in report.findings if f.rule == "SHM001"] == []
 
 
+class TestObs001:
+    def test_raw_clock_read_in_hot_path_flagged(self, tmp_path):
+        found = findings_for(tmp_path, {
+            "core/engine.py": "import time\nt = time.perf_counter()\n",
+        }, rule="OBS001")
+        assert len(found) == 1
+        assert found[0].line == 2
+        assert "repro.obs.clock" in found[0].message
+
+    def test_clock_seam_alias_is_clean(self, tmp_path):
+        found = findings_for(tmp_path, {
+            "core/engine.py": (
+                "from repro.obs import clock as obs_clock\n"
+                "t = obs_clock.perf_counter()\n"
+                "m = obs_clock.monotonic()\n"
+            ),
+        }, rule="OBS001")
+        assert found == []
+
+    def test_non_hot_path_dirs_exempt(self, tmp_path):
+        found = findings_for(tmp_path, {
+            "bench/timing.py": "import time\nt = time.perf_counter()\n",
+            "obs/clock.py": "import time\nt = time.monotonic()\n",
+        }, rule="OBS001")
+        assert found == []
+
+    def test_monotonic_and_time_time_flagged_too(self, tmp_path):
+        found = findings_for(tmp_path, {
+            "parallel/engine.py": (
+                "import time\n"
+                "a = time.monotonic()\n"
+                "b = time.time()\n"
+            ),
+        }, rule="OBS001")
+        assert sorted(f.line for f in found) == [2, 3]
+
+    def test_obs_ok_pragma_suppresses(self, tmp_path):
+        # One pragma per line: the standalone det-ok covers the read's why,
+        # the trailing obs-ok its how — both findings suppressed.
+        write_tree(tmp_path, {
+            "core/engine.py": (
+                "import time\n"
+                "# det-ok: reporting only\n"
+                "t = time.perf_counter()  # obs-ok: seam bootstrap\n"
+            ),
+        })
+        report = run_analysis([str(tmp_path)])
+        assert [f for f in report.findings
+                if f.rule in ("OBS001", "DET001")] == []
+        assert report.suppressed_by_pragma == 2
+
+    def test_complementary_to_det001(self, tmp_path):
+        """A raw hot-path clock read trips both the why- and how-rules."""
+        rules = sorted(f.rule for f in findings_for(tmp_path, {
+            "core/engine.py": "import time\nt = time.perf_counter()\n",
+        }))
+        assert rules == ["DET001", "OBS001"]
+
+
 class TestPragmaScanner:
     def test_scan_finds_tokens_and_reasons(self):
         lines = [

@@ -225,6 +225,11 @@ class TestBenchCli:
             text = handle.read()
         assert "cProfile summary: case=toy_fast" in text
         assert "cumulative" in text
+        # Memory forensics land in the same artifact as the time ranking.
+        assert "peak RSS:" in text
+        rss_line = next(line for line in text.splitlines()
+                        if line.startswith("peak RSS:"))
+        assert int(rss_line.split()[2]) > 0
 
 
 class TestCommittedBaseline:
