@@ -1,0 +1,71 @@
+"""ROBUST001 — the no-unbounded-blocking contract (PR 10).
+
+The parallel runtime's original failure mode was a parent blocked forever
+on a pipe to a dead worker: ``Connection.recv()`` has no timeout and
+``Process.join()`` defaults to one, so a crashed or wedged worker turned
+the whole run into a hang. The supervised runtime
+(:mod:`repro.parallel.supervise`) replaces every such wait with a
+liveness-checked poll loop; this checker keeps it that way.
+
+Statically enforced in every file under a ``parallel/`` directory:
+
+* ``<obj>.recv()`` with no arguments is banned — barrier waits must route
+  through the supervisor's poll-with-deadline seam (whose own ``recv()``
+  calls are guarded by a preceding ``poll()`` and documented with
+  ``# robust-ok: <reason>``, as is the worker-side loop, where the parent's
+  liveness is the supervisor's concern);
+* ``<obj>.join()`` with no arguments is banned — process joins must carry
+  a timeout so teardown can escalate (``terminate()`` → ``kill()``)
+  instead of waiting on a straggler forever. ``str.join`` and
+  ``os.path.join`` always take an argument, so only the untimed
+  process-join shape is matched.
+"""
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from ..registry import Finding, checker
+from ..source import SourceFile
+
+__all__ = ["check_robust001"]
+
+
+def _in_parallel_dir(src: SourceFile) -> bool:
+    return "parallel" in src.parts[:-1]
+
+
+@checker("ROBUST001", pragma="robust-ok", severity="error", scope="file")
+def check_robust001(src: SourceFile) -> List[Finding]:
+    """Unbounded blocking waits (bare recv / untimed join) in parallel/."""
+    if not _in_parallel_dir(src):
+        return []
+    out: List[Finding] = []
+    for node in ast.walk(src.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if not isinstance(node.func, ast.Attribute):
+            continue
+        if node.args or node.keywords:
+            continue
+        if node.func.attr == "recv":
+            out.append(Finding(
+                rule="ROBUST001", path=src.rel, line=node.lineno,
+                col=node.col_offset, severity="error",
+                message=("bare Connection.recv() in the parallel runtime — "
+                         "a dead peer turns this into a hang; route the "
+                         "wait through the supervisor's poll-with-deadline "
+                         "seam (repro.parallel.supervise) or justify a "
+                         "poll-guarded read with '# robust-ok: <reason>'"),
+                snippet=src.snippet(node.lineno)))
+        elif node.func.attr == "join":
+            out.append(Finding(
+                rule="ROBUST001", path=src.rel, line=node.lineno,
+                col=node.col_offset, severity="error",
+                message=("untimed .join() in the parallel runtime — a "
+                         "terminate-resistant straggler blocks teardown "
+                         "forever; pass a timeout and escalate "
+                         "(terminate -> kill) on expiry, or justify with "
+                         "'# robust-ok: <reason>'"),
+                snippet=src.snippet(node.lineno)))
+    return out

@@ -20,6 +20,7 @@ from . import (  # noqa: F401  (imports register the cases)
     perf_hotpath,
     perf_multilevel,
     perf_parallel,
+    perf_supervised,
     perf_trace,
     scale_chunked,
     smoke,

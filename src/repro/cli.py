@@ -15,9 +15,10 @@ Subcommands:
 * ``repro analyze`` — the AST-based contract linter (:mod:`repro.analysis`):
   checks the determinism (DET001/DET002), zero-alloc (ALLOC001),
   memory-ceiling (MEM001), backend-dispatch (XP001), shm-lifecycle
-  (SHM001) and clock-seam (OBS001) invariants over the given paths and
-  exits nonzero on violations (``--strict`` also fails on warnings and
-  stale baseline entries — the CI configuration).
+  (SHM001), clock-seam (OBS001) and no-unbounded-blocking (ROBUST001)
+  invariants over the given paths and exits nonzero on violations
+  (``--strict`` also fails on warnings and stale baseline entries — the
+  CI configuration).
 * ``repro trace`` — run-telemetry tooling over the JSONL traces that
   ``repro layout --trace out.jsonl`` (or ``LayoutParams(trace=...)``)
   records: ``summarize`` prints the per-phase time breakdown of one trace,
@@ -125,6 +126,15 @@ def build_parser() -> argparse.ArgumentParser:
                              "process-parallel shared-memory hogwild engine "
                              "(N>1 routes the run through repro.parallel.shm; "
                              "cpu engine only)")
+    parser.add_argument("--on-worker-failure", dest="on_worker_failure",
+                        default="fail", choices=["fail", "degrade", "restart"],
+                        help="policy when a shm worker process dies or "
+                             "stalls mid-run: fail raises a typed error "
+                             "promptly (default), degrade re-slices the dead "
+                             "worker's share across the survivors and "
+                             "finishes with fewer workers, restart respawns "
+                             "the worker with fresh streams before degrading "
+                             "(only meaningful with --workers > 1)")
     parser.add_argument("--memory-budget", dest="memory_budget", default=None,
                         help="ceiling on the fused path's per-iteration "
                              "transient footprint, as bytes or a size string "
@@ -211,6 +221,7 @@ def layout_main(argv: Optional[Sequence[str]] = None) -> int:
         seed=args.seed,
         simulated_threads=args.simulated_threads,
         workers=args.workers,
+        on_worker_failure=args.on_worker_failure,
         backend=args.backend,
         merge_policy=args.merge_policy,
         fused=args.fused,
@@ -228,6 +239,13 @@ def layout_main(argv: Optional[Sequence[str]] = None) -> int:
           f"({summary['total_terms']} update terms, "
           f"{summary['update_dispatches']} dispatches, "
           f"collision fraction {summary['collision_fraction']:.3f})")
+    if summary["degraded"] or summary["worker_failures"]:
+        # Surface supervised-runtime health whenever anything went wrong —
+        # CI's chaos job greps this line to validate graceful degradation.
+        print(f"run degraded: effective_workers="
+              f"{summary['effective_workers']}/{summary['workers']} after "
+              f"{summary['worker_failures']} worker failure(s), "
+              f"{summary['worker_restarts']} restart(s)")
 
     if args.out_lay:
         write_lay(result.layout, args.out_lay)
@@ -359,7 +377,9 @@ def build_analyze_parser() -> argparse.ArgumentParser:
         description="AST-based contract linter: determinism (DET001/DET002), "
                     "zero-alloc hot loops (ALLOC001), bounded iteration "
                     "memory (MEM001), backend dispatch (XP001), shm "
-                    "lifecycle (SHM001) and the obs clock seam (OBS001)",
+                    "lifecycle (SHM001), the obs clock seam (OBS001) and "
+                    "no unbounded blocking waits in the parallel runtime "
+                    "(ROBUST001)",
     )
     parser.add_argument("paths", nargs="*", default=["src"],
                         help="files or directories to analyze (default: src)")

@@ -117,6 +117,15 @@ class LayoutResult:
             "fused_iterations": int(self.counters.get("fused_iterations", 0)),
             "fused_chunks": int(self.counters.get("fused_chunks", 0)),
             "workers": int(self.params.workers),
+            # Supervised-runtime health (repro.parallel.supervise): flat
+            # engines report the trivially healthy figures — effective
+            # workers equal to the configured count, nothing failed.
+            "effective_workers": int(
+                self.counters.get("effective_workers", self.params.workers)),
+            "degraded": bool(self.counters.get("degraded", 0.0)),
+            "worker_failures": int(self.counters.get("worker_failures", 0)),
+            "worker_restarts": int(self.counters.get("worker_restarts", 0)),
+            "workers_killed": int(self.counters.get("workers_killed", 0)),
             # Peak-memory accounting (repro.memtrack): max RSS is sampled on
             # every run; the traced peak only exists when the caller had
             # tracemalloc active around the run (e.g. the scale bench suite).

@@ -114,6 +114,18 @@ class LayoutParams:
     ``multiprocessing.shared_memory`` and runs ``N`` hogwild workers over
     disjoint slices of each iteration's batch plan."""
 
+    on_worker_failure: str = "fail"
+    """Failure policy of the supervised process-parallel runtime
+    (:mod:`repro.parallel.supervise`), consulted when a shm worker dies or
+    stalls mid-run. ``"fail"`` (the default) raises a typed
+    ``ParallelRuntimeError`` promptly — the run never hangs and never
+    silently drops a worker's contribution; ``"degrade"`` re-slices the
+    dead worker's sub-plan across the survivors and continues (the result
+    is flagged ``degraded``); ``"restart"`` respawns the worker with fresh
+    decorrelated streams, with capped exponential backoff, degrading only
+    after the restart budget is exhausted. Irrelevant when ``workers=1``
+    runs flat."""
+
     batch_size: int = 65536
     """Node-pair batch size for the batched (PyTorch-style) engine."""
 
@@ -199,6 +211,9 @@ class LayoutParams:
             raise ValueError("simulated_threads (n_threads) must be >= 1")
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
+        if self.on_worker_failure not in ("fail", "degrade", "restart"):
+            raise ValueError(
+                "on_worker_failure must be 'fail', 'degrade' or 'restart'")
         if self.batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         if self.merge_policy not in ("hogwild", "accumulate", "last_writer"):

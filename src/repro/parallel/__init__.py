@@ -1,5 +1,7 @@
-"""Parallel-execution substrate: the process-parallel shared-memory engine,
-Hogwild collision analysis, and the thread-scaling models."""
+"""Parallel-execution substrate: the supervised process-parallel
+shared-memory engine, Hogwild collision analysis, seeded fault injection,
+and the thread-scaling models."""
+from .faults import FaultPlan, FaultSpec, InjectedFault, resolve_fault_plan
 from .hogwild import CollisionReport, expected_collision_probability, measure_collisions
 from .scaling import (
     ThreadScalingResult,
@@ -10,8 +12,16 @@ from .scaling import (
 from .shm import (
     SharedArrayBlock,
     ShmHogwildEngine,
+    recovery_stream_states,
     run_workers_inline,
     worker_stream_states,
+)
+from .supervise import (
+    BarrierTimeout,
+    ParallelRuntimeError,
+    WorkerCrash,
+    WorkerStall,
+    WorkerSupervisor,
 )
 
 __all__ = [
@@ -24,6 +34,16 @@ __all__ = [
     "cpu_cache_profile",
     "SharedArrayBlock",
     "ShmHogwildEngine",
+    "recovery_stream_states",
     "run_workers_inline",
     "worker_stream_states",
+    "ParallelRuntimeError",
+    "WorkerCrash",
+    "WorkerStall",
+    "BarrierTimeout",
+    "WorkerSupervisor",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "resolve_fault_plan",
 ]

@@ -1,0 +1,226 @@
+"""Deterministic seeded fault injection for the parallel runtime.
+
+The supervised runtime (:mod:`repro.parallel.supervise`) exists to survive
+worker death — but worker death in the wild (OOM kills, segfaulting
+backends) is neither reproducible nor CI-friendly. This module makes it
+both: a :class:`FaultPlan` names exact ``(worker, iteration)`` points at
+which a worker injures itself, either chosen explicitly (tests, the
+``REPRO_FAULTS`` env knob) or drawn from the run's master seed
+(:meth:`FaultPlan.from_seed`, sub-seeded with
+``derive_seed(seed, "fault-plan")`` so the chaos schedule is as
+reproducible as the layout itself).
+
+Fault kinds
+-----------
+``crash``
+    ``os._exit(13)`` — the process vanishes without unwinding, the closest
+    stand-in for an OOM kill. Surfaces as ``WorkerCrash(exitcode=13)``.
+``exception``
+    Raise :class:`InjectedFault` — an unhandled worker exception, which
+    closes the pipe during the ``finally`` unwind and exits nonzero.
+    Also surfaces as ``WorkerCrash``.
+``stall``
+    Sleep for ``arg`` seconds (default: effectively forever) without
+    sending the barrier message. Surfaces as ``WorkerStall`` once the
+    barrier deadline lapses; the supervisor then reaps the sleeper.
+``hang``
+    Like ``stall`` but with ``SIGTERM`` ignored first — exercises the
+    teardown escalation path (``terminate()`` fails, ``kill()`` must
+    follow, ``workers_killed`` increments).
+
+Injection points
+----------------
+Workers call :meth:`FaultPlan.fire` at two points: once before the
+``ready`` handshake with ``iteration=-1`` (a setup-time fault — note a
+respawned worker re-fires it, which is exactly how tests drive the
+restart-exhaustion → degrade path), and once at the top of every
+iteration body. Parents never fire faults; only workers are injured.
+
+The plan reaches workers either as a pickled spawn argument (the
+``ShmHogwildEngine(fault_plan=...)`` test hook) or via the
+``REPRO_FAULTS`` environment variable (``kind@worker:iteration`` specs,
+comma-separated, e.g. ``crash@1:1,stall@0:2``; an optional ``*arg``
+suffix sets the kind's argument: ``stall@2:0*30`` sleeps 30 s), which is
+how the CI chaos job injects a crash through the real CLI. An explicit
+plan wins over the env.
+"""
+from __future__ import annotations
+
+import os
+import signal
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..prng.splitmix import derive_seed
+from ..prng.xoshiro import Xoshiro256Plus
+
+__all__ = [
+    "FAULT_KINDS",
+    "FAULTS_ENV",
+    "FaultSpec",
+    "FaultPlan",
+    "InjectedFault",
+    "resolve_fault_plan",
+]
+
+#: Injectable fault kinds, in the order :meth:`FaultPlan.from_seed` indexes.
+FAULT_KINDS = ("crash", "exception", "stall", "hang")
+
+#: Environment variable carrying comma-separated fault specs
+#: (``kind@worker:iteration`` with optional ``*arg``).
+FAULTS_ENV = "REPRO_FAULTS"
+
+#: Exitcode of an injected ``crash`` — distinctive so tests can assert the
+#: supervisor reports the true exitcode, not a generic failure.
+CRASH_EXITCODE = 13
+
+#: Default stall length: far beyond any barrier deadline, far below forever
+#: (the supervisor reaps stalled workers, but a leaked sleeper should still
+#: die on its own eventually).
+DEFAULT_STALL_S = 3600.0
+
+
+class InjectedFault(RuntimeError):
+    """The unhandled exception raised by an ``exception`` fault."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injury: ``kind`` at (``worker``, ``iteration``).
+
+    ``iteration == -1`` fires during worker setup, before the ready
+    handshake. ``arg`` parameterises the kind (stall/hang sleep seconds);
+    ``None`` means the kind's default.
+    """
+
+    kind: str
+    worker: int
+    iteration: int
+    arg: Optional[float] = None
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"fault kind must be one of {FAULT_KINDS}, got {self.kind!r}")
+
+    def encode(self) -> str:
+        """The ``kind@worker:iteration[*arg]`` form ``REPRO_FAULTS`` parses."""
+        text = f"{self.kind}@{self.worker}:{self.iteration}"
+        if self.arg is not None:
+            text += f"*{self.arg:g}"
+        return text
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultSpec":
+        """Parse one ``kind@worker:iteration[*arg]`` spec."""
+        try:
+            kind, _, rest = text.strip().partition("@")
+            rest, star, arg_text = rest.partition("*")
+            worker_text, _, iter_text = rest.partition(":")
+            return cls(kind=kind, worker=int(worker_text),
+                       iteration=int(iter_text),
+                       arg=float(arg_text) if star else None)
+        except ValueError as exc:
+            raise ValueError(
+                f"bad fault spec {text!r}: expected "
+                "'kind@worker:iteration' with optional '*arg' "
+                f"(e.g. 'crash@1:1' or 'stall@0:2*30'): {exc}") from exc
+
+
+def _execute(spec: FaultSpec) -> None:
+    """Actually injure the calling process per ``spec`` (worker side)."""
+    if spec.kind == "crash":
+        # _exit, not sys.exit: no unwinding, no finally blocks, no pipe
+        # shutdown message — the closest stand-in for an OOM kill.
+        os._exit(CRASH_EXITCODE)
+    if spec.kind == "exception":
+        raise InjectedFault(
+            f"injected exception at worker {spec.worker} "
+            f"iteration {spec.iteration}")
+    if spec.kind == "hang":
+        # Shrug off the supervisor's terminate() so only kill() works —
+        # this is the teardown-escalation fixture.
+        signal.signal(signal.SIGTERM, signal.SIG_IGN)
+    # stall / hang: sleep through the barrier without reporting.
+    time.sleep(spec.arg if spec.arg is not None else DEFAULT_STALL_S)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A picklable schedule of :class:`FaultSpec` injuries for one run.
+
+    Crosses the ``spawn`` boundary as a plain dataclass of primitives.
+    An empty plan is falsy and free to carry everywhere.
+    """
+
+    specs: Tuple[FaultSpec, ...] = ()
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    def fire(self, worker: int, iteration: int) -> None:
+        """Injure the calling worker if the plan names this point."""
+        for spec in self.specs:
+            if spec.worker == worker and spec.iteration == iteration:
+                _execute(spec)
+
+    def encode(self) -> str:
+        """Comma-joined spec string suitable for ``REPRO_FAULTS``."""
+        return ",".join(spec.encode() for spec in self.specs)
+
+    # ------------------------------------------------------- constructors
+    @classmethod
+    def of(cls, *specs: FaultSpec) -> "FaultPlan":
+        return cls(specs=tuple(specs))
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """Parse a comma-separated spec list (the ``REPRO_FAULTS`` format)."""
+        parts = [p for p in text.split(",") if p.strip()]
+        return cls(specs=tuple(FaultSpec.parse(p) for p in parts))
+
+    @classmethod
+    def from_env(cls, environ=os.environ) -> Optional["FaultPlan"]:
+        """The plan carried by ``REPRO_FAULTS``, or ``None`` if unset."""
+        text = environ.get(FAULTS_ENV)
+        if not text:
+            return None
+        return cls.parse(text)
+
+    @classmethod
+    def from_seed(cls, seed: int, workers: int, iterations: int,
+                  n_faults: int = 1,
+                  kinds: Sequence[str] = ("crash", "exception", "stall"),
+                  ) -> "FaultPlan":
+        """Draw a reproducible chaos schedule from the run's master seed.
+
+        Each fault picks an independent uniformly random
+        ``(kind, worker, iteration)`` from a Xoshiro256+ stream sub-seeded
+        with ``derive_seed(seed, "fault-plan")`` — decorrelated from every
+        stream the layout itself consumes, so injecting faults never
+        perturbs *which terms* the surviving workers sample.
+        """
+        if workers < 1 or iterations < 1:
+            raise ValueError("need workers >= 1 and iterations >= 1")
+        for kind in kinds:
+            if kind not in FAULT_KINDS:
+                raise ValueError(
+                    f"fault kind must be one of {FAULT_KINDS}, got {kind!r}")
+        rng = Xoshiro256Plus(derive_seed(seed, "fault-plan"), n_streams=1)
+        specs: List[FaultSpec] = []
+        for _ in range(n_faults):
+            kind = kinds[int(rng.next_below(len(kinds))[0])]
+            worker = int(rng.next_below(workers)[0])
+            iteration = int(rng.next_below(iterations)[0])
+            specs.append(FaultSpec(kind=kind, worker=worker,
+                                   iteration=iteration))
+        return cls(specs=tuple(specs))
+
+
+def resolve_fault_plan(explicit: Optional[FaultPlan] = None,
+                       environ=os.environ) -> Optional[FaultPlan]:
+    """The fault plan in effect: explicit hook > ``REPRO_FAULTS`` > none."""
+    if explicit is not None:
+        return explicit
+    return FaultPlan.from_env(environ)

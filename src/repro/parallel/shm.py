@@ -28,16 +28,36 @@ the test-suite:
   by ``params.seed`` — only the store interleaving is racy, never the
   sampled terms.
 
+Recovery (degrade / restart) mints *additional* streams under
+``derive_seed(params.seed, "shm-respawn")`` and
+``derive_seed(params.seed, "shm-degrade")`` — never the dead worker's
+streams, whose crashed half-iteration consumed an unknowable prefix.
+
+Supervision
+-----------
+All barriers route through :class:`~repro.parallel.supervise.WorkerSupervisor`
+— the parent never calls a bare ``Connection.recv()`` or an untimed
+``Process.join()`` (the ROBUST001 contract). A worker that dies or stalls
+surfaces as a typed :class:`~repro.parallel.supervise.ParallelRuntimeError`
+and is resolved per ``params.on_worker_failure``: ``fail`` raises promptly,
+``degrade`` re-slices the dead worker's plan across survivors (workers
+accept ``("extend", plan, state)`` messages mid-run for exactly this), and
+``restart`` respawns the slot with fresh streams before degrading. The
+seeded chaos harness lives in :mod:`repro.parallel.faults`; workers fire
+the run's :class:`~repro.parallel.faults.FaultPlan` (engine hook or
+``REPRO_FAULTS``) at setup (``iteration=-1``) and at each iteration start.
+
 Shared-memory lifecycle
 -----------------------
 The parent ``create()``\\ s one segment holding the coordinate array plus the
 five :class:`~repro.core.selection.SelectionArrays` (graph data ships once,
 via the segment — never pickled per batch); workers ``attach()`` by name and
 ``close()`` their mapping on exit; the parent alone ``unlink()``\\ s, inside a
-``finally`` that also terminates stragglers, so a crashed run leaves no
-segment behind. Re-registration of the same segment by every attaching
-process is harmless: the resource tracker's registry is a set, and only the
-parent ever unregisters it (via ``unlink``).
+``finally`` that also escalates straggler teardown
+(``terminate()`` → ``kill()``, counted in ``workers_killed``), so a crashed
+run leaves no segment and no process behind. Re-registration of the same
+segment by every attaching process is harmless: the resource tracker's
+registry is a set, and only the parent ever unregisters it (via ``unlink``).
 
 Workers are long-lived — one process per worker for the whole run, fed one
 message per iteration over a pipe — so each worker's PRNG streams advance
@@ -48,7 +68,7 @@ from __future__ import annotations
 import multiprocessing as mp
 import os
 from multiprocessing import shared_memory
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -64,14 +84,18 @@ from ..obs.ring import RingTracer, TraceRing, ring_capacity, ring_keys, \
     ring_payload
 from ..obs.trace_file import merge_events, write_trace
 from ..obs.tracer import NULL_TRACER
-from ..prng.splitmix import derive_seed
+from ..prng.splitmix import derive_seed, seed_streams
 from ..prng.xoshiro import Xoshiro256Plus
+from .faults import FaultPlan, resolve_fault_plan
+from .supervise import DEFAULT_BARRIER_TIMEOUT, DEFAULT_JOIN_TIMEOUT, \
+    DEFAULT_READY_TIMEOUT, WorkerSupervisor
 
 __all__ = [
     "SharedArrayBlock",
     "ShmHogwildEngine",
     "budget_share",
     "worker_stream_states",
+    "recovery_stream_states",
     "run_workers_inline",
     "resolve_start_method",
 ]
@@ -204,36 +228,94 @@ def worker_stream_states(base: Xoshiro256Plus, workers: int,
     return [jumped.state[w * n:(w + 1) * n].copy() for w in range(workers)]
 
 
+def recovery_stream_states(seed: int, n_streams: int
+                           ) -> Callable[[str, int], List[np.ndarray]]:
+    """Mint fresh per-worker stream states for supervised recovery.
+
+    Returns the ``fresh_states(kind, n)`` callback
+    :class:`~repro.parallel.supervise.WorkerSupervisor` consumes. Each kind
+    (``"respawn"`` / ``"degrade"``) draws from its own SplitMix64 expansion
+    under a stable sub-seed of the master seed; because
+    :func:`~repro.prng.splitmix.seed_streams` is prefix-stable (one
+    sequential SplitMix64 stream), growing the expansion and slicing off
+    the new tail yields state blocks that are distinct across *every* call
+    — a respawned worker never replays streams any earlier incarnation (or
+    the original cohort) consumed.
+    """
+    seeds = {"respawn": derive_seed(seed, "shm-respawn"),
+             "degrade": derive_seed(seed, "shm-degrade")}
+    issued = {"respawn": 0, "degrade": 0}
+
+    def fresh_states(kind: str, n: int) -> List[np.ndarray]:
+        start = issued[kind]
+        issued[kind] = start + n
+        block = seed_streams(seeds[kind], (start + n) * n_streams,
+                             Xoshiro256Plus.STATE_WORDS)
+        return [block[(start + i) * n_streams:(start + i + 1) * n_streams]
+                .copy() for i in range(n)]
+
+    return fresh_states
+
+
 def _selection_arrays_payload(arrays: SelectionArrays) -> Dict[str, np.ndarray]:
     return {f"sel/{field}": np.asarray(getattr(arrays, field))
             for field in SelectionArrays._fields}
 
 
+def _build_unit(plan: List[int], state: np.ndarray, sampler: PairSampler,
+                params: LayoutParams, share: Optional[int], tracer,
+                backend) -> Tuple[Xoshiro256Plus, List]:
+    """One execution unit: a generator plus its chunked iteration plans.
+
+    A worker starts with a single unit (its contractual sub-plan) and gains
+    one more per ``extend`` message it adopts from a degraded sibling —
+    each adopted plan keeps its own streams and its own workspace-sized
+    chunking under the same per-worker budget share.
+    """
+    rng = Xoshiro256Plus(state)
+    workspace = UpdateWorkspace(max(plan), backend=backend)
+    plans = build_iteration_plans(
+        sampler=sampler, workspace=workspace, merge=params.merge_policy,
+        plan=plan, n_streams=rng.n_streams, memory_budget=share,
+        tracer=tracer)
+    return rng, plans
+
+
 def _worker_main(worker_id: int, shm_name: str, manifest: Manifest,
                  params: LayoutParams, sub_plan: List[int],
-                 stream_state: np.ndarray, conn) -> None:
+                 stream_state: np.ndarray, conn,
+                 fault_plan: Optional[FaultPlan] = None) -> None:
     """Worker loop: attach, rebuild the sampler, run fused sub-iterations.
 
     Runs in a child process (module-level so ``spawn`` can pickle it by
     reference). The graph never crosses the pickle boundary — selection
     arrays are views into the shared segment; only params, the sub-plan and
     a ``(n_streams, 4)`` PRNG state ride along in the spawn args.
+
+    Besides ``iter`` and ``stop``, the loop accepts ``("extend", plan,
+    state)`` — a degraded sibling's re-sliced share, adopted as an extra
+    execution unit and acknowledged with ``("extended", id, n_chunks)``.
+    An injected :class:`~repro.parallel.faults.FaultPlan` fires at setup
+    (``iteration=-1``) and at the top of each iteration body.
     """
     from ..backend import get_backend
 
+    faults = resolve_fault_plan(fault_plan)
     block = SharedArrayBlock.attach(shm_name, manifest)
     try:
+        if faults:
+            faults.fire(worker_id, -1)
         backend = get_backend(params.backend)
         coords = block.view("coords")
         arrays = SelectionArrays(
             *(block.view(f"sel/{field}") for field in SelectionArrays._fields))
         sampler = PairSampler.from_arrays(arrays, params, backend)
-        rng = Xoshiro256Plus(stream_state)
-        workspace = UpdateWorkspace(max(sub_plan), backend=backend)
         # Tracing: the worker's spans land lock-free in its own ring inside
         # the shared segment (repro.obs.ring); the parent decodes after
         # join and merges all streams into one ordered trace file. No pipe
-        # traffic, no per-event allocation in the iteration loop.
+        # traffic, no per-event allocation in the iteration loop. A
+        # respawned worker reattaches the same ring and its sequence
+        # numbers continue from the shared control block.
         if params.trace:
             buf_key, ctl_key = ring_keys(worker_id)
             tracer = RingTracer(TraceRing(block.view(buf_key),
@@ -241,42 +323,51 @@ def _worker_main(worker_id: int, shm_name: str, manifest: Manifest,
         else:
             tracer = NULL_TRACER
         trace = tracer.enabled
-        # Each worker chunks its sub-plan under its share of the run budget
+        # Each worker chunks its plans under its share of the run budget
         # (workers race concurrently, so shares must sum to the budget). The
         # share is derived from params here rather than shipped as an extra
         # spawn arg — every worker computes the same figure.
-        plans = build_iteration_plans(
-            sampler=sampler, workspace=workspace, merge=params.merge_policy,
-            plan=sub_plan, n_streams=rng.n_streams,
-            memory_budget=budget_share(params.memory_budget, params.workers),
-            tracer=tracer)
-        conn.send(("ready", worker_id, len(plans)))
+        share = budget_share(params.memory_budget, params.workers)
+        units = [_build_unit(sub_plan, stream_state, sampler, params, share,
+                             tracer, backend)]
+        conn.send(("ready", worker_id, len(units[0][1])))
         while True:
-            msg = conn.recv()
+            msg = conn.recv()  # robust-ok: worker side of the pipe; parent liveness is the supervisor's concern, and a dead parent collapses this daemon anyway
             if msg[0] == "stop":
                 break
+            if msg[0] == "extend":
+                _, extra_plan, extra_state = msg
+                units.append(_build_unit(extra_plan, extra_state, sampler,
+                                         params, share, tracer, backend))
+                conn.send(("extended", worker_id, len(units[-1][1])))
+                continue
             _, iteration, eta = msg
+            if faults:
+                faults.fire(worker_id, iteration)
             n_terms = 0
             n_collisions = 0
             t_iter = tracer.now() if trace else 0.0
             draw_s = 0.0
             disp_s = 0.0
-            for chunk in plans:
-                c0 = tracer.now() if trace else 0.0
-                block_draws = rng.next_double_block(chunk.calls_per_iteration)  # mem-ok: chunk plans are bounded by the worker's budget share
-                c1 = tracer.now() if trace else 0.0
-                stats = backend.run_iteration(chunk, coords, block_draws, eta,
-                                              iteration)
-                if trace:
-                    draw_s += c1 - c0
-                    disp_s += tracer.now() - c1
-                n_terms += stats.n_terms
-                n_collisions += stats.n_point_collisions
+            n_chunks = 0
+            for rng, plans in units:
+                n_chunks += len(plans)
+                for chunk in plans:
+                    c0 = tracer.now() if trace else 0.0
+                    block_draws = rng.next_double_block(chunk.calls_per_iteration)  # mem-ok: chunk plans are bounded by the worker's budget share
+                    c1 = tracer.now() if trace else 0.0
+                    stats = backend.run_iteration(chunk, coords, block_draws,
+                                                  eta, iteration)
+                    if trace:
+                        draw_s += c1 - c0
+                        disp_s += tracer.now() - c1
+                    n_terms += stats.n_terms
+                    n_collisions += stats.n_point_collisions
             if trace:
                 tracer.emit("draw", t_iter, draw_s, iteration,
-                            count=len(plans))
+                            count=n_chunks)
                 tracer.emit("dispatch", t_iter, disp_s, iteration,
-                            count=len(plans))
+                            count=n_chunks)
                 tracer.emit("iteration", t_iter, tracer.now() - t_iter,
                             iteration)
             conn.send((n_terms, n_collisions))
@@ -297,6 +388,12 @@ class ShmHogwildEngine(CpuBaselineEngine):
     term/collision counts. Iteration boundaries are synchronised (the eta
     schedule must advance globally); stores within an iteration are not.
 
+    All worker lifecycle — spawn, barriers, failure handling per
+    ``params.on_worker_failure``, teardown escalation — is delegated to
+    :class:`~repro.parallel.supervise.WorkerSupervisor`. The keyword-only
+    constructor knobs (timeouts, restart backoff, ``fault_plan``) exist for
+    the chaos suite; production runs take the defaults.
+
     Requires a host-resident backend (the shared mapping *is* the coordinate
     state) that advertises the fused iteration path.
     """
@@ -304,9 +401,21 @@ class ShmHogwildEngine(CpuBaselineEngine):
     name = "shm-hogwild"
 
     def __init__(self, graph, params: Optional[LayoutParams] = None,
-                 hogwild_round: int = 64, start_method: Optional[str] = None):
+                 hogwild_round: int = 64, start_method: Optional[str] = None,
+                 *, fault_plan: Optional[FaultPlan] = None,
+                 ready_timeout: float = DEFAULT_READY_TIMEOUT,
+                 barrier_timeout: float = DEFAULT_BARRIER_TIMEOUT,
+                 join_timeout: float = DEFAULT_JOIN_TIMEOUT,
+                 max_restarts: int = 2,
+                 restart_backoff: float = 0.1):
         super().__init__(graph, params, hogwild_round=hogwild_round)
         self.start_method = resolve_start_method(start_method)
+        self.fault_plan = fault_plan
+        self.ready_timeout = ready_timeout
+        self.barrier_timeout = barrier_timeout
+        self.join_timeout = join_timeout
+        self.max_restarts = max_restarts
+        self.restart_backoff = restart_backoff
         probe = np.zeros(1)
         if self.backend.from_host(probe) is not probe:
             raise ValueError(
@@ -332,6 +441,8 @@ class ShmHogwildEngine(CpuBaselineEngine):
             # plan so a correctly behaving run never drops an event (a ring
             # holds every span the worker emits: 2 per chunk from the fused
             # host path + the draw/dispatch/iteration trio per iteration).
+            # A degraded survivor emits more than its ring was sized for;
+            # overflow is dropped and reported, never blocking.
             share = budget_share(self.params.memory_budget,
                                  self.params.workers)
             for w, sub_plan in enumerate(sub_plans):
@@ -341,6 +452,38 @@ class ShmHogwildEngine(CpuBaselineEngine):
                 payload.update(ring_payload(w, capacity))
         block = SharedArrayBlock.create(payload)  # shm-ok: ownership transfers to run(), whose finally unlinks
         return sub_plans, states, block
+
+    def _make_supervisor(self, block: SharedArrayBlock,
+                         n_streams: int) -> WorkerSupervisor:
+        """The supervised runtime for one run over ``block``."""
+        params = self.params
+        ctx = mp.get_context(self.start_method)
+        # Resolve REPRO_FAULTS in the parent so the plan rides the spawn
+        # args — workers see the identical schedule under every start
+        # method, and the engine hook still wins over the env.
+        fault_plan = resolve_fault_plan(self.fault_plan)
+
+        def spawn(worker_id: int, plan: List[int], state: np.ndarray):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(worker_id, block.name, block.manifest, params, plan,
+                      state, child_conn, fault_plan),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            return proc, parent_conn
+
+        return WorkerSupervisor(
+            spawn, policy=params.on_worker_failure,
+            fresh_states=recovery_stream_states(params.seed, n_streams),
+            ready_timeout=self.ready_timeout,
+            barrier_timeout=self.barrier_timeout,
+            join_timeout=self.join_timeout,
+            max_restarts=self.max_restarts,
+            backoff_base=self.restart_backoff,
+            tracer=self.tracer)
 
     # ------------------------------------------------------------------ run
     def run(self, initial: Optional[Layout] = None) -> LayoutResult:
@@ -354,30 +497,13 @@ class ShmHogwildEngine(CpuBaselineEngine):
         t_sched = tracer.now() if trace else 0.0
         sub_plans, states, block = self._worker_setup(layout)
         n_workers = len(sub_plans)
-        ctx = mp.get_context(self.start_method)
-        procs: List = []
-        conns: List = []
+        supervisor = self._make_supervisor(block, states[0].shape[0])
         total_terms = 0
         worker_events: List[List] = []
         dropped = 0
         try:
-            for w, (sub_plan, state) in enumerate(zip(sub_plans, states)):
-                parent_conn, child_conn = ctx.Pipe()
-                proc = ctx.Process(
-                    target=_worker_main,
-                    args=(w, block.name, block.manifest, params, sub_plan,
-                          state, child_conn),
-                    daemon=True,
-                )
-                proc.start()
-                child_conn.close()
-                procs.append(proc)
-                conns.append(parent_conn)
-            total_chunks = 0
-            for conn in conns:
-                msg = conn.recv()
-                assert msg[0] == "ready"
-                total_chunks += msg[2]
+            supervisor.start(sub_plans, states)
+            total_chunks = supervisor.await_ready()
             self.max_counter("fused_chunks", float(total_chunks))
             t_ready = obs_clock.perf_counter()
             self.add_counter("parallel_setup_s", t_ready - t_start)
@@ -387,12 +513,10 @@ class ShmHogwildEngine(CpuBaselineEngine):
             for iteration in range(params.iter_max):
                 eta = float(self.schedule[iteration])
                 t_iter = tracer.now() if trace else 0.0
-                for conn in conns:
-                    conn.send(("iter", iteration, eta))
+                supervisor.send_iter(iteration, eta)
                 n_collisions = 0
                 n_terms_iter = 0
-                for w, conn in enumerate(conns):
-                    terms, collisions = conn.recv()
+                for w, (terms, collisions) in supervisor.collect(iteration):
                     n_terms_iter += terms
                     n_collisions += collisions
                     # Labelled per-worker metrics: the flat counter view
@@ -402,27 +526,29 @@ class ShmHogwildEngine(CpuBaselineEngine):
                                          worker=str(w)).add(float(terms))
                 total_terms += n_terms_iter
                 self.add_counter("point_collisions", float(n_collisions))
-                self.add_counter("update_dispatches", float(total_chunks))
+                # Dispatches per iteration track the *live* decomposition —
+                # the figure shrinks and re-grows as degradation re-slices.
+                self.add_counter("update_dispatches",
+                                 float(supervisor.total_chunks()))
                 if trace:
                     # The parent's iteration span covers the barrier-to-
                     # barrier wall time; per-worker spans live in the rings.
                     tracer.emit("iteration", t_iter, tracer.now() - t_iter,
-                                iteration, count=n_workers)
+                                iteration, count=supervisor.live_count())
                 if self.on_progress is not None:
                     self.on_progress(iteration + 1, params.iter_max, {
                         "engine": self.name,
                         "eta": eta,
                         "terms": n_terms_iter,
                         "collisions": n_collisions,
-                        "workers": n_workers,
+                        "workers": supervisor.live_count(),
                     })
             self.add_counter("parallel_iterate_s",
                              obs_clock.perf_counter() - t_ready)
-            for conn in conns:
-                conn.send(("stop",))
-            for proc in procs:
-                proc.join(timeout=30.0)
-            # Read back the raced coordinates before the mapping goes away.
+            # Graceful stop inside the try: workers must have joined before
+            # the rings and the raced coordinates are read back (the
+            # finally's shutdown() is then an idempotent no-op).
+            supervisor.shutdown()
             layout.coords[...] = block.view("coords")
             if params.trace:
                 # Decode the per-worker rings while the mapping is alive
@@ -437,16 +563,26 @@ class ShmHogwildEngine(CpuBaselineEngine):
                     self.metrics.counter("trace_events", worker=str(w)).add(
                         float(ring.written))
         finally:
-            for conn in conns:
-                conn.close()
-            for proc in procs:
-                if proc.is_alive():
-                    proc.terminate()
-                    proc.join(timeout=5.0)
+            # Idempotent: a no-op after the graceful path, the straggler
+            # escalation (terminate -> kill, counted) after a raise.
+            supervisor.shutdown()
             block.close()
             block.unlink()
+            # Supervision counters land in the finally so a raised run
+            # (policy "fail", exhausted recovery) still reports what the
+            # supervisor saw — the chaos suite asserts on these after
+            # catching the typed error.
+            self.add_counter("effective_workers",
+                             float(supervisor.live_count()))
+            self.add_counter("worker_failures",
+                             float(supervisor.worker_failures))
+            self.add_counter("worker_restarts",
+                             float(supervisor.worker_restarts))
+            self.add_counter("workers_killed",
+                             float(supervisor.workers_killed))
+            if supervisor.degraded:
+                self.add_counter("degraded", 1.0)
         self.add_counter("fused_iterations", float(params.iter_max))
-        self.add_counter("effective_workers", float(n_workers))
         if params.trace:
             # One merged, ordered trace: the parent's own spans interleaved
             # with every worker's ring stream (t0-sorted, stable).

@@ -475,6 +475,64 @@ class TestObs001:
         assert rules == ["DET001", "OBS001"]
 
 
+class TestRobust001:
+    def test_bare_recv_in_parallel_flagged(self, tmp_path):
+        found = findings_for(tmp_path, {
+            "parallel/runtime.py": (
+                "def wait(conn):\n"
+                "    return conn.recv()\n"
+            ),
+        }, rule="ROBUST001")
+        assert len(found) == 1
+        assert found[0].line == 2
+        assert "supervisor" in found[0].message
+
+    def test_untimed_join_in_parallel_flagged(self, tmp_path):
+        found = findings_for(tmp_path, {
+            "parallel/runtime.py": (
+                "def stop(proc):\n"
+                "    proc.terminate()\n"
+                "    proc.join()\n"
+            ),
+        }, rule="ROBUST001")
+        assert len(found) == 1
+        assert found[0].line == 3
+        assert "timeout" in found[0].message
+
+    def test_timed_join_and_str_join_clean(self, tmp_path):
+        found = findings_for(tmp_path, {
+            "parallel/runtime.py": (
+                "def stop(proc, parts):\n"
+                "    proc.join(timeout=5.0)\n"
+                "    proc.join(5.0)\n"
+                "    return ', '.join(parts)\n"
+            ),
+        }, rule="ROBUST001")
+        assert found == []
+
+    def test_outside_parallel_dir_exempt(self, tmp_path):
+        found = findings_for(tmp_path, {
+            "obs/listener.py": (
+                "def wait(conn, proc):\n"
+                "    proc.join()\n"
+                "    return conn.recv()\n"
+            ),
+        }, rule="ROBUST001")
+        assert found == []
+
+    def test_robust_ok_pragma_suppresses_poll_guarded_recv(self, tmp_path):
+        write_tree(tmp_path, {
+            "parallel/runtime.py": (
+                "def wait(conn):\n"
+                "    if conn.poll(0.05):\n"
+                "        return conn.recv()  # robust-ok: poll-guarded\n"
+            ),
+        })
+        report = run_analysis([str(tmp_path)])
+        assert [f for f in report.findings if f.rule == "ROBUST001"] == []
+        assert report.suppressed_by_pragma == 1
+
+
 class TestPragmaScanner:
     def test_scan_finds_tokens_and_reasons(self):
         lines = [
