@@ -84,7 +84,7 @@ from ..obs.ring import RingTracer, TraceRing, ring_capacity, ring_keys, \
     ring_payload
 from ..obs.trace_file import merge_events, write_trace
 from ..obs.tracer import NULL_TRACER
-from ..prng.splitmix import derive_seed, seed_streams
+from ..prng.splitmix import SplitMix64, derive_seed, expand_streams
 from ..prng.xoshiro import Xoshiro256Plus
 from .faults import FaultPlan, resolve_fault_plan
 from .supervise import DEFAULT_BARRIER_TIMEOUT, DEFAULT_JOIN_TIMEOUT, \
@@ -234,25 +234,24 @@ def recovery_stream_states(seed: int, n_streams: int
 
     Returns the ``fresh_states(kind, n)`` callback
     :class:`~repro.parallel.supervise.WorkerSupervisor` consumes. Each kind
-    (``"respawn"`` / ``"degrade"``) draws from its own SplitMix64 expansion
-    under a stable sub-seed of the master seed; because
-    :func:`~repro.prng.splitmix.seed_streams` is prefix-stable (one
-    sequential SplitMix64 stream), growing the expansion and slicing off
-    the new tail yields state blocks that are distinct across *every* call
-    — a respawned worker never replays streams any earlier incarnation (or
-    the original cohort) consumed.
+    (``"respawn"`` / ``"degrade"``) holds one persistent SplitMix64
+    expansion under a stable sub-seed of the master seed; every call emits
+    only the expansion's next tail (:func:`~repro.prng.splitmix.
+    expand_streams` — prefix-stable, so the states are exactly the slices a
+    single grown :func:`~repro.prng.splitmix.seed_streams` call would
+    yield, without re-deriving the prefix per failure). State blocks are
+    therefore distinct across *every* call — a respawned worker never
+    replays streams any earlier incarnation (or the original cohort)
+    consumed.
     """
-    seeds = {"respawn": derive_seed(seed, "shm-respawn"),
-             "degrade": derive_seed(seed, "shm-degrade")}
-    issued = {"respawn": 0, "degrade": 0}
+    gens = {"respawn": SplitMix64(derive_seed(seed, "shm-respawn"), 1),
+            "degrade": SplitMix64(derive_seed(seed, "shm-degrade"), 1)}
 
     def fresh_states(kind: str, n: int) -> List[np.ndarray]:
-        start = issued[kind]
-        issued[kind] = start + n
-        block = seed_streams(seeds[kind], (start + n) * n_streams,
-                             Xoshiro256Plus.STATE_WORDS)
-        return [block[(start + i) * n_streams:(start + i + 1) * n_streams]
-                .copy() for i in range(n)]
+        block = expand_streams(gens[kind], n * n_streams,
+                               Xoshiro256Plus.STATE_WORDS)
+        return [block[i * n_streams:(i + 1) * n_streams].copy()
+                for i in range(n)]
 
     return fresh_states
 

@@ -55,6 +55,13 @@ Failure policies (``LayoutParams.on_worker_failure``)
     consumed), waiting ``backoff_base * 2^k`` (capped) between attempts.
     After ``max_restarts`` failed respawns the worker degrades as above.
 
+Recovery always runs at an iteration barrier: a failure discovered during
+the ``iter`` broadcast is deferred until that iteration's results are
+collected (the survivors' pipes carry in-flight results that recovery
+must not interleave with), and a worker respawned at the barrier idles
+until the next ``iter`` message. The failed iteration's contribution from
+the dead worker is lost under both recovery policies.
+
 Determinism caveats: multi-worker layouts were never byte-reproducible
 (the store race), and recovery adds to that — degraded/restarted runs draw
 the recovered plan's terms from recovery streams, not the dead worker's.
@@ -217,6 +224,11 @@ class WorkerSupervisor:
         self.tracer = tracer
         self._sleep = sleep
         self.handles: List[WorkerHandle] = []
+        #: Failures discovered while an iteration is in flight (broken pipe
+        #: during the ``iter`` broadcast). Recovery over the survivors'
+        #: pipes must wait until their iteration results are drained, so
+        #: these handles are resolved at the end of the next collect().
+        self._pending_recovery: List[WorkerHandle] = []
         self.worker_failures = 0
         self.worker_restarts = 0
         self.workers_killed = 0
@@ -317,7 +329,16 @@ class WorkerSupervisor:
         return self.total_chunks()
 
     def send_iter(self, iteration: int, eta: float) -> None:
-        """Broadcast one iteration message; broken pipes become failures."""
+        """Broadcast one iteration message; broken pipes become failures.
+
+        A failure detected here is *deferred*: every survivor has already
+        received its ``iter`` message and will deliver a result next, so
+        recovering now would interleave the ``extend`` exchange (or a
+        respawn's missing ``iter``) with in-flight results — degrade would
+        misread a survivor's result as a broken ack and cascade. The dead
+        handle is reaped immediately but its plan is recovered at the end
+        of this iteration's collect(), once the survivors' pipes are quiet.
+        """
         failed: List[WorkerHandle] = []
         for handle in self.live():
             try:
@@ -326,18 +347,21 @@ class WorkerSupervisor:
                 exc = self._crash(handle, f"send(iter {iteration})")
                 self._note_failure(handle, exc)
                 failed.append(handle)
-        self._recover(failed, iteration)
+        self._pending_recovery.extend(failed)
 
     def collect(self, iteration: int) -> List[Tuple[int, Tuple]]:
         """Gather one iteration's results from every live worker.
 
         Returns ``[(worker_id, result), ...]`` for the workers that
-        delivered; failures discovered mid-barrier are recovered *after*
-        the surviving results are in (recovery talks over the same pipes,
-        so it must not interleave with in-flight result messages).
+        delivered; failures — both those stashed by send_iter and those
+        discovered mid-barrier here — are recovered *after* the surviving
+        results are in (recovery talks over the same pipes, so it must not
+        interleave with in-flight result messages; a worker respawned here
+        idles until the next send_iter rather than blocking a barrier).
         """
         results: List[Tuple[int, Tuple]] = []
-        failed: List[WorkerHandle] = []
+        failed: List[WorkerHandle] = list(self._pending_recovery)
+        self._pending_recovery = []
         for handle in self.live():
             try:
                 results.append(

@@ -16,7 +16,8 @@ import zlib
 
 import numpy as np
 
-__all__ = ["SplitMix64", "splitmix64_next", "seed_streams", "derive_seed"]
+__all__ = ["SplitMix64", "splitmix64_next", "seed_streams", "expand_streams",
+           "derive_seed"]
 
 _GOLDEN = np.uint64(0x9E3779B97F4A7C15)
 _MIX1 = np.uint64(0xBF58476D1CE4E5B9)
@@ -94,6 +95,37 @@ def derive_seed(seed: int, label: str) -> int:
     return int(mixed.next_uint64()[0] & np.uint64(0x7FFFFFFF))
 
 
+# Replacement for a zero word, which would put xoshiro into its (invalid)
+# all-zero orbit.
+_ZERO_REMAP = np.uint64(0x2545F4914F6CDD1D)
+
+
+def expand_streams(sm: SplitMix64, n_streams: int,
+                   words_per_stream: int = 4) -> np.ndarray:
+    """Draw the next ``n_streams`` state blocks from an ongoing expansion.
+
+    Advances ``sm`` (a single-stream SplitMix64) by
+    ``n_streams * words_per_stream`` steps and returns the outputs as a
+    ``(n_streams, words_per_stream)`` uint64 array with zero words remapped.
+    Because the expansion is one sequential stream, repeated calls against
+    the same generator yield exactly the tail slices that one big
+    :func:`seed_streams` call over the running total would — prefix
+    stability without regenerating the prefix.
+    """
+    if n_streams <= 0:
+        raise ValueError("n_streams must be positive")
+    if words_per_stream <= 0:
+        raise ValueError("words_per_stream must be positive")
+    if sm.n_streams != 1:
+        raise ValueError("expand_streams needs a single-stream SplitMix64")
+    total = n_streams * words_per_stream
+    words = np.empty(total, dtype=np.uint64)
+    for i in range(total):
+        words[i] = sm.next_uint64()[0]
+    words[words == 0] = _ZERO_REMAP
+    return words.reshape(n_streams, words_per_stream)
+
+
 def seed_streams(seed: int, n_streams: int, words_per_stream: int = 4) -> np.ndarray:
     """Produce decorrelated seed material for ``n_streams`` downstream PRNGs.
 
@@ -102,15 +134,4 @@ def seed_streams(seed: int, n_streams: int, words_per_stream: int = 4) -> np.nda
     seed is expanded through SplitMix64 so that no two streams share state
     words, and no state word is ever zero (required by xoshiro/xorshift).
     """
-    if n_streams <= 0:
-        raise ValueError("n_streams must be positive")
-    if words_per_stream <= 0:
-        raise ValueError("words_per_stream must be positive")
-    sm = SplitMix64(seed, 1)
-    total = n_streams * words_per_stream
-    words = np.empty(total, dtype=np.uint64)
-    for i in range(total):
-        words[i] = sm.next_uint64()[0]
-    # A zero word would put xoshiro into its (invalid) all-zero orbit; remap.
-    words[words == 0] = np.uint64(0x2545F4914F6CDD1D)
-    return words.reshape(n_streams, words_per_stream)
+    return expand_streams(SplitMix64(seed, 1), n_streams, words_per_stream)

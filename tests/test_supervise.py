@@ -11,6 +11,7 @@ from __future__ import annotations
 import multiprocessing as mp
 import os
 import signal
+from collections import deque
 
 import numpy as np
 import pytest
@@ -31,6 +32,7 @@ from repro.parallel.supervise import (
     WorkerStall,
     WorkerSupervisor,
 )
+from repro.prng.splitmix import derive_seed, seed_streams
 from repro.prng.xoshiro import Xoshiro256Plus
 
 #: Outer bound on any single chaos test. Generous relative to the engine
@@ -235,6 +237,146 @@ class TestRestartPolicy:
         assert summary["effective_workers"] == 2
 
 
+class _FakeProc:
+    """Process stand-in: scriptable liveness and exitcode, no OS process."""
+
+    def __init__(self):
+        self.alive = True
+        self.exitcode = None
+
+    def is_alive(self):
+        return self.alive
+
+    def join(self, timeout=None):
+        pass
+
+    def terminate(self):
+        self.alive = False
+        self.exitcode = -signal.SIGTERM
+
+    def kill(self):
+        self.alive = False
+        self.exitcode = -signal.SIGKILL
+
+
+class _FakeConn:
+    """Scripted parent-side pipe: ``recv`` pops the inbox, ``extend``
+    auto-acks (the worker loop's behaviour), ``broken`` scripts a dead
+    peer's ``BrokenPipeError`` on send."""
+
+    def __init__(self, inbox=()):
+        self.inbox = deque(inbox)
+        self.sent = []
+        self.broken = False
+        self.closed = False
+
+    def send(self, msg):
+        if self.broken:
+            raise BrokenPipeError("scripted broken pipe")
+        self.sent.append(msg)
+        if msg[0] == "extend":
+            self.inbox.append(("extended", 0, max(1, len(msg[1]))))
+
+    def poll(self, timeout=None):
+        return bool(self.inbox)
+
+    def recv(self):
+        if not self.inbox:
+            raise EOFError
+        return self.inbox.popleft()
+
+    def close(self):
+        self.closed = True
+
+
+class TestMidIterationFailures:
+    """Failures discovered during the ``iter`` broadcast (send_iter).
+
+    Every survivor has already received its iteration message at that
+    point and will deliver a 2-tuple result next, so recovery must wait
+    for collect() to drain those results — these tests script exactly the
+    pipe states the review of the original implementation flagged: eager
+    recovery misread a survivor's in-flight result as a broken extend ack
+    (degrade cascaded to total loss), and an eager respawn missed the
+    current iteration's message (collect stalled on it for the full
+    barrier deadline).
+    """
+
+    def _supervisor(self, policy, n_workers=3, **kwargs):
+        procs, conns = [], []
+
+        def spawn(worker_id, plan, state):
+            proc, conn = _FakeProc(), _FakeConn([("ready", worker_id, 1)])
+            procs.append(proc)
+            conns.append(conn)
+            return proc, conn
+
+        kwargs.setdefault("barrier_timeout", 2.0)
+        sup = WorkerSupervisor(
+            spawn, policy=policy,
+            fresh_states=lambda kind, n: [np.ones((1, 4), np.uint64)] * n,
+            sleep=lambda s: None, **kwargs)
+        sup.start([[4, 3]] * n_workers, [np.ones((1, 4), np.uint64)] * n_workers)
+        assert sup.await_ready() == n_workers
+        return sup, procs, conns
+
+    @staticmethod
+    def _kill_worker(procs, conns, w):
+        procs[w].alive = False
+        procs[w].exitcode = CRASH_EXITCODE
+        conns[w].broken = True
+
+    def test_send_failure_defers_recovery_past_in_flight_results(self):
+        # Degrade policy: worker 1's pipe breaks during the broadcast while
+        # workers 0 and 2 already hold their iteration results. Recovery
+        # must not run until those results are collected — eagerly it would
+        # read a result as the extend ack and reap both healthy survivors.
+        sup, procs, conns = self._supervisor("degrade")
+        self._kill_worker(procs, conns, 1)
+        conns[0].inbox.append((10, 0))
+        conns[2].inbox.append((12, 0))
+        sup.send_iter(0, 0.5)
+        assert sup.live_count() == 2
+        assert all(msg[0] != "extend"
+                   for conn in conns for msg in conn.sent)
+        results = sup.collect(0)
+        assert sorted(results) == [(0, (10, 0)), (2, (12, 0))]
+        assert sup.degraded
+        assert sup.live_count() == 2
+        assert sup.worker_failures == 1
+        # Both survivors adopted a slice of the dead worker's plan.
+        for w in (0, 2):
+            assert ("iter", 0, 0.5) in conns[w].sent
+            assert any(msg[0] == "extend" for msg in conns[w].sent)
+            assert len(sup.handles[w].plans) == 2
+
+    def test_send_failure_restart_rejoins_at_next_iteration(self):
+        # Restart policy: the respawn must happen at the iteration barrier
+        # (after collect), and the fresh worker idles until the *next*
+        # send_iter — a mid-iteration respawn would never receive the
+        # current iter message and collect would stall on it.
+        sup, procs, conns = self._supervisor("restart")
+        self._kill_worker(procs, conns, 1)
+        conns[0].inbox.append((10, 0))
+        conns[2].inbox.append((12, 0))
+        sup.send_iter(0, 0.5)
+        assert len(conns) == 3  # no respawn while the iteration is in flight
+        results = sup.collect(0)
+        assert sorted(results) == [(0, (10, 0)), (2, (12, 0))]
+        assert sup.worker_restarts == 1
+        assert sup.live_count() == 3
+        assert not sup.degraded
+        assert len(conns) == 4
+        # The respawn saw only the ready handshake, no stale iter message...
+        assert conns[3].sent == []
+        # ...and participates normally from the next iteration on.
+        sup.send_iter(1, 0.4)
+        assert conns[3].sent == [("iter", 1, 0.4)]
+        for conn in conns[0], conns[2], conns[3]:
+            conn.inbox.append((7, 0))
+        assert len(sup.collect(1)) == 3
+
+
 class TestSupervisedIdentity:
     def test_workers1_byte_identical_to_flat(self, small_synthetic,
                                              fast_params):
@@ -320,6 +462,17 @@ class TestRecoveryStreams:
             key = state.tobytes()
             assert key not in seen
             seen.add(key)
+
+    def test_incremental_states_match_grown_expansion(self):
+        # The persistent-generator implementation must emit exactly the
+        # tail slices one big seed_streams expansion would — the
+        # prefix-stability contract, now without O(total^2) regeneration.
+        n_streams = 3
+        fresh = recovery_stream_states(seed=99, n_streams=n_streams)
+        issued = fresh("respawn", 2) + fresh("respawn", 1)
+        grown = seed_streams(derive_seed(99, "shm-respawn"),
+                             3 * n_streams, Xoshiro256Plus.STATE_WORDS)
+        np.testing.assert_array_equal(np.concatenate(issued, axis=0), grown)
 
     def test_disjoint_from_worker_streams(self):
         base = Xoshiro256Plus(123, 4)
